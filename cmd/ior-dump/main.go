@@ -1,0 +1,96 @@
+// Command ior-dump decodes a stringified object reference and prints its
+// structure: type ID, endpoint, object key, and the QoS components (the
+// TagQoS characteristic list and alternate endpoints) the MAQS dispatch
+// keys on.
+//
+// Usage:
+//
+//	ior-dump IOR:0000...
+//	echo IOR:0000... | ior-dump
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"maqs/internal/ior"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	var inputs []string
+	if len(args) > 0 {
+		inputs = args
+	} else {
+		scanner := bufio.NewScanner(os.Stdin)
+		scanner.Buffer(make([]byte, 1<<20), 1<<20)
+		for scanner.Scan() {
+			line := strings.TrimSpace(scanner.Text())
+			if line != "" {
+				inputs = append(inputs, line)
+			}
+		}
+		if err := scanner.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "ior-dump: reading stdin: %v\n", err)
+			return 1
+		}
+	}
+	if len(inputs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ior-dump IOR:... [IOR:...] (or pipe IORs on stdin)")
+		return 2
+	}
+	failures := 0
+	for _, s := range inputs {
+		if err := dump(s); err != nil {
+			fmt.Fprintf(os.Stderr, "ior-dump: %v\n", err)
+			failures++
+		}
+	}
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+func dump(s string) error {
+	ref, err := ior.Parse(s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("type ID:    %s\n", ref.TypeID)
+	fmt.Printf("endpoint:   %s\n", ref.Profile.Addr())
+	fmt.Printf("object key: %q\n", ref.Profile.ObjectKey)
+	info, qosAware, err := ref.QoS()
+	if err != nil {
+		return fmt.Errorf("decoding QoS component: %w", err)
+	}
+	if qosAware {
+		fmt.Printf("QoS-aware:  yes\n")
+		fmt.Printf("  characteristics: %s\n", strings.Join(info.Characteristics, ", "))
+		if len(info.Modules) > 0 {
+			fmt.Printf("  transport modules: %s\n", strings.Join(info.Modules, ", "))
+		}
+	} else {
+		fmt.Printf("QoS-aware:  no\n")
+	}
+	endpoints, err := ref.AlternateEndpoints()
+	if err != nil {
+		return fmt.Errorf("decoding endpoints component: %w", err)
+	}
+	if len(endpoints) > 0 {
+		fmt.Printf("group endpoints: %s\n", strings.Join(endpoints, ", "))
+	}
+	if n := len(ref.Profile.Components); n > 0 {
+		fmt.Printf("components: %d\n", n)
+		for _, c := range ref.Profile.Components {
+			fmt.Printf("  tag 0x%08X, %d bytes\n", c.Tag, len(c.Data))
+		}
+	}
+	fmt.Println()
+	return nil
+}

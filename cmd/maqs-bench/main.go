@@ -1,0 +1,70 @@
+// Command maqs-bench regenerates the evaluation tables (E1..E10, see
+// DESIGN.md §4): each experiment operationalises one claim of the paper
+// and prints a table of measurements.
+//
+// Usage:
+//
+//	maqs-bench           # run every experiment
+//	maqs-bench E3 E5     # run selected experiments
+//	maqs-bench -list     # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"maqs/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("maqs-bench", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return 0
+	}
+	selected := fs.Args()
+	wanted := func(id string) bool {
+		if len(selected) == 0 {
+			return true
+		}
+		for _, s := range selected {
+			if strings.EqualFold(s, id) {
+				return true
+			}
+		}
+		return false
+	}
+	failures := 0
+	for _, e := range all {
+		if !wanted(e.ID) {
+			continue
+		}
+		start := time.Now()
+		table, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s (%s) failed: %v\n", e.ID, e.Name, err)
+			failures++
+			continue
+		}
+		fmt.Println(table.Render())
+		fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,146 @@
+// Command maqs-server runs a standalone QoS-enabled demo server over TCP:
+// an echo/document service supporting the Compression, Encryption and
+// Actuality characteristics, plus a trading service where the offer is
+// exported. It prints the stringified IORs so any client process (on this
+// or another machine) can negotiate against it.
+//
+// Usage:
+//
+//	maqs-server [-addr 127.0.0.1:9700]
+//
+// Inspect the printed references with ior-dump; stop with ctrl-C.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"maqs"
+	"maqs/internal/characteristics/actuality"
+	"maqs/internal/characteristics/compression"
+	"maqs/internal/characteristics/encryption"
+	"maqs/internal/infra/accounting"
+	"maqs/internal/infra/trader"
+	"maqs/internal/orb"
+)
+
+// demoServant answers echo/document operations.
+type demoServant struct {
+	mu  sync.Mutex
+	doc []byte
+}
+
+func (s *demoServant) Invoke(req *maqs.ServerRequest) error {
+	switch req.Operation {
+	case "echo":
+		p, err := req.In().ReadOctets()
+		if err != nil {
+			return err
+		}
+		req.Out.WriteOctets(p)
+		return nil
+	case "get_document":
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		req.Out.WriteOctets(s.doc)
+		return nil
+	case "put_document":
+		p, err := req.In().ReadOctets()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.doc = append([]byte(nil), p...)
+		s.mu.Unlock()
+		return nil
+	case "get_time":
+		req.Out.WriteLongLong(time.Now().UnixNano())
+		return nil
+	default:
+		return orb.NewSystemException(orb.ExcBadOperation, 1, "no operation %q", req.Operation)
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "maqs-server: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:9700", "listen address (host:port)")
+	flag.Parse()
+
+	sys, err := maqs.NewSystem(maqs.Options{})
+	if err != nil {
+		return err
+	}
+	defer sys.Shutdown()
+	if err := sys.Listen(*addr); err != nil {
+		return err
+	}
+	if err := sys.LoadModule(compression.ModuleName, nil); err != nil {
+		return err
+	}
+	if err := sys.LoadModule(encryption.ModuleName, nil); err != nil {
+		return err
+	}
+	meter := accounting.NewMeter()
+	meter.SetTariff(maqs.Compression, accounting.Tariff{PerRequest: 0.001, PerKiB: 0.0001})
+	meter.SetTariff(maqs.Encryption, accounting.Tariff{PerRequest: 0.002, PerKiB: 0.0002})
+	meter.SetTariff(maqs.Actuality, accounting.Tariff{PerRequest: 0.0005})
+	sys.ORB.AddIncomingFilter(meter)
+
+	servant := &demoServant{doc: []byte("hello from maqs-server")}
+	skel := maqs.NewServerSkeleton(servant)
+	if err := skel.AddQoS(compression.NewImpl(0)); err != nil {
+		return err
+	}
+	if err := skel.AddQoS(encryption.NewImpl(0)); err != nil {
+		return err
+	}
+	if err := skel.AddQoS(actuality.NewImpl(0, time.Minute)); err != nil {
+		return err
+	}
+	ref, err := sys.ActivateQoS("demo", "IDL:maqs/Demo:1.0", skel, maqs.QoSInfo{
+		Characteristics: []string{maqs.Compression, maqs.Encryption, maqs.Actuality},
+		Modules:         []string{compression.ModuleName, encryption.ModuleName},
+	})
+	if err != nil {
+		return err
+	}
+
+	traderServant := trader.NewServant()
+	traderRef, err := sys.Activate(trader.ObjectKey, trader.RepoID, traderServant)
+	if err != nil {
+		return err
+	}
+	traderServant.Export(&trader.ServiceOffer{
+		ServiceType: "IDL:maqs/Demo:1.0",
+		Ref:         ref.String(),
+		Properties:  map[string]string{"host": *addr, "demo": "true"},
+	})
+
+	fmt.Printf("maqs-server listening on %s\n\n", *addr)
+	fmt.Printf("demo object (Compression, Encryption, Actuality):\n%s\n\n", ref)
+	fmt.Printf("trader:\n%s\n\n", traderRef)
+	fmt.Println("press ctrl-C to stop; accounting statements print on shutdown")
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+
+	fmt.Println("\naccounting statements:")
+	for _, s := range meter.Statements() {
+		fmt.Printf("  binding %s (%s): %d requests, %d B in, %d B out -> %.4f credits\n",
+			s.BindingID[:8], s.Usage.Characteristic, s.Usage.Requests,
+			s.Usage.BytesIn, s.Usage.BytesOut, s.Cost)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+// Command qidlc is the QIDL compiler: the aspect weaver of the MAQS
+// framework. It reads a QIDL specification (CORBA-style IDL extended with
+// "qos" declarations and "supports" clauses) and emits the woven Go
+// mapping — stubs with mediator delegation, server skeletons with
+// prolog/epilog seams, QoS implementation and mediator skeletons, and
+// typed parameter accessors.
+//
+// Usage:
+//
+//	qidlc [-o out.go] [-package name] input.qidl
+//
+// With no -o flag the generated source is written next to the input as
+// <input>.gen.go.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/format"
+	"os"
+	"strings"
+
+	"maqs/internal/idl"
+	"maqs/internal/idl/gen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+func run(args []string, stderr *os.File) int {
+	fs := flag.NewFlagSet("qidlc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	outPath := fs.String("o", "", "output file (default: <input>.gen.go)")
+	pkg := fs.String("package", "", "Go package name (default: module name)")
+	checkOnly := fs.Bool("check", false, "parse and check only, emit nothing")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: qidlc [-o out.go] [-package name] [-check] input.qidl")
+		return 2
+	}
+	input := fs.Arg(0)
+	src, err := os.ReadFile(input)
+	if err != nil {
+		fmt.Fprintf(stderr, "qidlc: %v\n", err)
+		return 1
+	}
+	spec, err := idl.Parse(input, string(src))
+	if err != nil {
+		fmt.Fprintf(stderr, "qidlc: %v\n", err)
+		return 1
+	}
+	if errs := idl.Check(spec); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(stderr, "qidlc: %v\n", e)
+		}
+		return 1
+	}
+	if *checkOnly {
+		return 0
+	}
+	code, err := gen.Generate(spec, gen.Options{Package: *pkg, Source: input})
+	if err != nil {
+		fmt.Fprintf(stderr, "qidlc: %v\n", err)
+		return 1
+	}
+	formatted, err := format.Source(code)
+	if err != nil {
+		// Emit the unformatted source anyway so the bug is inspectable.
+		formatted = code
+		fmt.Fprintf(stderr, "qidlc: warning: generated code does not format: %v\n", err)
+	}
+	path := *outPath
+	if path == "" {
+		path = strings.TrimSuffix(input, ".qidl") + ".gen.go"
+	}
+	if err := os.WriteFile(path, formatted, 0o644); err != nil {
+		fmt.Fprintf(stderr, "qidlc: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const validQIDL = `
+module demo {
+  qos Fast { param long level = 1; };
+  interface Svc supports Fast { void ping(); };
+};
+`
+
+func TestRunGeneratesOutput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "demo.qidl")
+	if err := os.WriteFile(in, []byte(validQIDL), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{in}, os.Stderr); code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	out, err := os.ReadFile(filepath.Join(dir, "demo.gen.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "package demo") {
+		t.Fatalf("output lacks package clause:\n%.200s", out)
+	}
+}
+
+func TestRunExplicitOutputAndPackage(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "demo.qidl")
+	outPath := filepath.Join(dir, "woven.go")
+	if err := os.WriteFile(in, []byte(validQIDL), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-o", outPath, "-package", "custom", in}, os.Stderr); code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	out, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "package custom") {
+		t.Fatal("package override ignored")
+	}
+}
+
+func TestRunCheckOnly(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "demo.qidl")
+	if err := os.WriteFile(in, []byte(validQIDL), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-check", in}, os.Stderr); code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "demo.gen.go")); !os.IsNotExist(err) {
+		t.Fatal("-check emitted output")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bad.qidl")
+	if err := os.WriteFile(in, []byte(`interface I { Unknown f(); };`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{in}, os.Stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if code := run([]string{filepath.Join(dir, "missing.qidl")}, os.Stderr); code != 1 {
+		t.Fatal("missing input accepted")
+	}
+	if code := run(nil, os.Stderr); code != 2 {
+		t.Fatal("no-arg run accepted")
+	}
+}

@@ -1,0 +1,352 @@
+package bank
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"go/format"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"maqs/internal/characteristics/replication"
+	"maqs/internal/idl"
+	"maqs/internal/idl/gen"
+	"maqs/internal/ior"
+	"maqs/internal/netsim"
+	"maqs/internal/orb"
+	"maqs/internal/qos"
+)
+
+// TestGeneratedCodeInSync regenerates the Go mapping from bank.qidl and
+// compares it with the checked-in bank.gen.go, proving the committed code
+// is exactly what qidlc emits (and, because this package compiles, that
+// qidlc output compiles).
+func TestGeneratedCodeInSync(t *testing.T) {
+	src, err := os.ReadFile("bank.qidl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := idl.Parse("examples/bank/bankqidl/bank.qidl", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := gen.Generate(spec, gen.Options{Source: "examples/bank/bankqidl/bank.qidl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatted, err := format.Source(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := os.ReadFile("bank.gen.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(formatted) != string(checked) {
+		t.Fatal("bank.gen.go is out of sync with bank.qidl; rerun qidlc")
+	}
+}
+
+// account is the application servant: plain Go, no QoS anywhere — the
+// separation of concerns the weaving promises.
+type account struct {
+	mu      sync.Mutex
+	balance float64
+	entries []Entry
+	notes   []string
+}
+
+var _ Account = (*account)(nil)
+
+func (a *account) Deposit(amount float64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.balance += amount
+	a.entries = append(a.entries, Entry{Label: "deposit", Amount: amount, At: uint64(len(a.entries))})
+	return nil
+}
+
+func (a *account) Withdraw(amount float64) (float64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if amount > a.balance {
+		return 0, &Overdrawn{Balance: a.balance, Requested: amount}
+	}
+	a.balance -= amount
+	a.entries = append(a.entries, Entry{Label: "withdraw", Amount: -amount, At: uint64(len(a.entries))})
+	return a.balance, nil
+}
+
+func (a *account) Balance() (float64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.balance, nil
+}
+
+func (a *account) History(limit uint32) ([]Entry, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if int(limit) > len(a.entries) {
+		limit = uint32(len(a.entries))
+	}
+	return append([]Entry(nil), a.entries[len(a.entries)-int(limit):]...), nil
+}
+
+func (a *account) Note(message string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.notes = append(a.notes, message)
+	return nil
+}
+
+func (a *account) Convert(cents int32, from Currency, to Currency) (int32, error) {
+	if from == to {
+		return cents, nil
+	}
+	// Toy fixed rates, scaled by 1000.
+	rate := map[Currency]int32{CurrencyEUR: 1000, CurrencyUSD: 1080, CurrencyGBP: 860}
+	return cents * rate[to] / rate[from], nil
+}
+
+// availabilityImpl combines the generated QoS skeleton with the
+// replication implementation's group management.
+type availabilityHandler struct {
+	synced []string
+	mu     sync.Mutex
+}
+
+func (h *availabilityHandler) ReplSync(b *qos.Binding, member string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.synced = append(h.synced, member)
+	return nil
+}
+
+type world struct {
+	net     *netsim.Network
+	server  *orb.ORB
+	client  *orb.ORB
+	servant *account
+	stub    *AccountStub
+	handler *availabilityHandler
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	n := netsim.NewNetwork()
+	server := orb.New(orb.Options{Transport: n.Host("server")})
+	if err := server.Listen("server:9700"); err != nil {
+		t.Fatal(err)
+	}
+	servant := &account{}
+	handler := &availabilityHandler{}
+	availImpl := NewAvailabilityImplBase(nil, handler)
+	skel, err := NewAccountServerSkeleton(servant, availImpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := server.Adapter().ActivateQoS("account-1", AccountRepoID, skel, AccountQoSInfo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := orb.New(orb.Options{Transport: n.Host("client")})
+	registry := qos.NewRegistry()
+	if err := registry.Register(AvailabilityDescriptor(), nil); err != nil {
+		t.Fatal(err)
+	}
+	stub := NewAccountStubWithRegistry(client, ref, registry)
+	t.Cleanup(func() {
+		client.Shutdown()
+		server.Shutdown()
+	})
+	return &world{net: n, server: server, client: client, servant: servant, stub: stub, handler: handler}
+}
+
+func TestTypedStubRoundTrip(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	if err := w.stub.Deposit(ctx, 100); err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.stub.Withdraw(ctx, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 70 {
+		t.Fatalf("balance after withdraw = %g", got)
+	}
+	balance, err := w.stub.Balance(ctx)
+	if err != nil || balance != 70 {
+		t.Fatalf("balance = %g, %v", balance, err)
+	}
+}
+
+func TestTypedUserException(t *testing.T) {
+	w := newWorld(t)
+	_, err := w.stub.Withdraw(context.Background(), 1000)
+	var overdrawn *Overdrawn
+	if !errors.As(err, &overdrawn) {
+		t.Fatalf("err = %v (%T)", err, err)
+	}
+	if overdrawn.Balance != 0 || overdrawn.Requested != 1000 {
+		t.Fatalf("exception = %+v", overdrawn)
+	}
+}
+
+func TestStructSequenceResult(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if err := w.stub.Deposit(ctx, float64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := w.stub.History(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("history = %d entries", len(entries))
+	}
+	if entries[2].Amount != 5 || entries[2].Label != "deposit" {
+		t.Fatalf("entries = %+v", entries)
+	}
+}
+
+func TestEnumParameter(t *testing.T) {
+	w := newWorld(t)
+	cents, err := w.stub.Convert(context.Background(), 1000, CurrencyEUR, CurrencyUSD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cents != 1080 {
+		t.Fatalf("convert = %d", cents)
+	}
+	if CurrencyGBP.String() != "GBP" {
+		t.Fatalf("enum name = %s", CurrencyGBP)
+	}
+}
+
+func TestOneWayNote(t *testing.T) {
+	w := newWorld(t)
+	if err := w.stub.Note(context.Background(), "remember the milk"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		w.servant.mu.Lock()
+		n := len(w.servant.notes)
+		w.servant.mu.Unlock()
+		if n == 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("oneway note never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestNegotiatedQoSOperationDispatch(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	// The generated QoS op is rejected without a binding...
+	calls := AvailabilityCalls{Stub: w.stub.QoS()}
+	err := calls.ReplSync(ctx, "replica-9")
+	var sys *orb.SystemException
+	if !errors.As(err, &sys) || sys.Name != orb.ExcBadQoS {
+		t.Fatalf("err = %v", err)
+	}
+	// ...and dispatched to the handler once Availability is negotiated.
+	b, err := w.stub.QoS().Negotiate(ctx, &qos.Proposal{
+		Characteristic: AvailabilityName,
+		Params:         []qos.ParamProposal{{Name: "replicas", Desired: qos.Number(3)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := AvailabilityParams{Contract: b.Contract}
+	if params.Replicas() != 3 || params.Strategy() != "active" || params.Voting() {
+		t.Fatalf("typed params = %d %q %v", params.Replicas(), params.Strategy(), params.Voting())
+	}
+	if err := calls.ReplSync(ctx, "replica-9"); err != nil {
+		t.Fatal(err)
+	}
+	w.handler.mu.Lock()
+	defer w.handler.mu.Unlock()
+	if len(w.handler.synced) != 1 || w.handler.synced[0] != "replica-9" {
+		t.Fatalf("handler = %+v", w.handler.synced)
+	}
+}
+
+func TestGeneratedCodeWithReplicationCharacteristic(t *testing.T) {
+	// Full weave: generated stubs and skeletons running over the real
+	// replication characteristic — three replicas, one crash, masked.
+	n := netsim.NewNetwork()
+	registry := qos.NewRegistry()
+	if err := replication.Register(registry); err != nil {
+		t.Fatal(err)
+	}
+	endpoints := []string{"rep0:9800", "rep1:9800", "rep2:9800"}
+	var firstRef *ior.IOR
+	accounts := make([]*account, 3)
+	for i := 0; i < 3; i++ {
+		host := fmt.Sprintf("rep%d", i)
+		o := orb.New(orb.Options{Transport: n.Host(host)})
+		if err := o.Listen(endpoints[i]); err != nil {
+			t.Fatal(err)
+		}
+		defer o.Shutdown()
+		accounts[i] = &account{}
+		skel, err := NewAccountServerSkeleton(accounts[i],
+			replication.NewImpl(8, endpoints, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := o.Adapter().ActivateQoS("account", AccountRepoID, skel, AccountQoSInfo())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			firstRef = ref
+		}
+	}
+	cluster := firstRef.Clone()
+	cluster.SetAlternateEndpoints(endpoints)
+	client := orb.New(orb.Options{Transport: n.Host("client")})
+	defer client.Shutdown()
+	stub := NewAccountStubWithRegistry(client, cluster, registry)
+	ctx := context.Background()
+	if _, err := stub.QoS().Negotiate(ctx, &qos.Proposal{
+		Characteristic: replication.Name,
+		Params:         []qos.ParamProposal{{Name: "replicas", Desired: qos.Number(3)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := stub.Deposit(ctx, 500); err != nil {
+		t.Fatal(err)
+	}
+	// Every replica executed the update.
+	for i, a := range accounts {
+		a.mu.Lock()
+		v := a.balance
+		a.mu.Unlock()
+		if v != 500 {
+			t.Fatalf("replica %d balance = %g", i, v)
+		}
+	}
+	// Crash one replica; the typed stub still works.
+	n.Crash("rep1")
+	balance, err := stub.Balance(ctx)
+	if err != nil || balance != 500 {
+		t.Fatalf("balance after crash = %g, %v", balance, err)
+	}
+	// Typed user exceptions survive the replicated path.
+	_, err = stub.Withdraw(ctx, 1e9)
+	var overdrawn *Overdrawn
+	if !errors.As(err, &overdrawn) {
+		t.Fatalf("err = %v", err)
+	}
+}

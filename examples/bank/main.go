@@ -1,0 +1,264 @@
+// Bank: the paper's availability discussion made runnable.
+//
+// Three replicas of a bank account run on a simulated network; the
+// client negotiates the Availability characteristic (active replication,
+// three replicas) through the QIDL-generated typed stub. A replica is
+// crashed mid-session and the failure is masked; a restarted replica
+// rejoins and is initialised through the aspect-integration interface
+// (the state accessor) — the exact cross-cut the paper uses to argue
+// that QoS is an aspect.
+//
+// Run with:
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	"maqs"
+	bank "maqs/examples/bank/bankqidl"
+	"maqs/internal/cdr"
+	"maqs/internal/characteristics/replication"
+	"maqs/internal/ior"
+	"maqs/internal/orb"
+	"maqs/internal/qos"
+)
+
+// account implements the generated bank.Account servant interface plus
+// the state accessor for replica initialisation.
+type account struct {
+	mu      sync.Mutex
+	balance float64
+	entries []bank.Entry
+}
+
+var (
+	_ bank.Account      = (*account)(nil)
+	_ qos.StateAccessor = (*account)(nil)
+)
+
+func (a *account) Deposit(amount float64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.balance += amount
+	a.entries = append(a.entries, bank.Entry{Label: "deposit", Amount: amount, At: uint64(len(a.entries))})
+	return nil
+}
+
+func (a *account) Withdraw(amount float64) (float64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if amount > a.balance {
+		return 0, &bank.Overdrawn{Balance: a.balance, Requested: amount}
+	}
+	a.balance -= amount
+	a.entries = append(a.entries, bank.Entry{Label: "withdraw", Amount: -amount, At: uint64(len(a.entries))})
+	return a.balance, nil
+}
+
+func (a *account) Balance() (float64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.balance, nil
+}
+
+func (a *account) History(limit uint32) ([]bank.Entry, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if int(limit) > len(a.entries) {
+		limit = uint32(len(a.entries))
+	}
+	return append([]bank.Entry(nil), a.entries[len(a.entries)-int(limit):]...), nil
+}
+
+func (a *account) Note(string) error { return nil }
+
+func (a *account) Convert(cents int32, from, to bank.Currency) (int32, error) {
+	return cents, nil
+}
+
+// GetState and SetState are the dedicated aspect-integration interface:
+// replication reaches the encapsulated state only through them.
+func (a *account) GetState() ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteDouble(a.balance)
+	bank.Entry{}.Marshal(e) // reserve layout versioning slot
+	e.WriteULong(uint32(len(a.entries)))
+	for _, en := range a.entries {
+		en.Marshal(e)
+	}
+	return e.Bytes(), nil
+}
+
+func (a *account) SetState(data []byte) error {
+	d := cdr.NewDecoder(data, cdr.BigEndian)
+	balance, err := d.ReadDouble()
+	if err != nil {
+		return err
+	}
+	if _, err := bank.UnmarshalEntry(d); err != nil {
+		return err
+	}
+	n, err := d.ReadULong()
+	if err != nil {
+		return err
+	}
+	entries := make([]bank.Entry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		en, err := bank.UnmarshalEntry(d)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, en)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.balance = balance
+	a.entries = entries
+	return nil
+}
+
+// replica bundles one deployed replica.
+type replica struct {
+	orb     *orb.ORB
+	servant *account
+	impl    *replication.Impl
+	ref     *ior.IOR
+}
+
+func startReplica(n *maqs.Network, host string, endpoints []string) (*replica, error) {
+	o := orb.New(orb.Options{Transport: n.Host(host)})
+	if err := o.Listen(host + ":9000"); err != nil {
+		return nil, err
+	}
+	servant := &account{}
+	impl := replication.NewImpl(8, endpoints, servant)
+	skel, err := bank.NewAccountServerSkeleton(servant, impl)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := o.Adapter().ActivateQoS("account", bank.AccountRepoID, skel, bank.AccountQoSInfo())
+	if err != nil {
+		return nil, err
+	}
+	return &replica{orb: o, servant: servant, impl: impl, ref: ref}, nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	n := maqs.NewNetwork()
+	endpoints := []string{"rep0:9000", "rep1:9000", "rep2:9000"}
+
+	replicas := make([]*replica, 3)
+	for i, host := range []string{"rep0", "rep1", "rep2"} {
+		r, err := startReplica(n, host, endpoints)
+		if err != nil {
+			return err
+		}
+		defer r.orb.Shutdown()
+		replicas[i] = r
+	}
+	fmt.Println("three account replicas up:", endpoints)
+
+	cluster := replicas[0].ref.Clone()
+	cluster.SetAlternateEndpoints(endpoints)
+
+	client, err := maqs.NewSystem(maqs.Options{Transport: n.Host("client")})
+	if err != nil {
+		return err
+	}
+	defer client.Shutdown()
+	stub := bank.NewAccountStubWithRegistry(client.ORB, cluster, client.Registry)
+
+	binding, err := stub.QoS().Negotiate(ctx, &maqs.Proposal{
+		Characteristic: maqs.Availability,
+		Params: []maqs.ParamProposal{
+			{Name: "replicas", Desired: maqs.Number(3)},
+			{Name: "strategy", Desired: maqs.Text("active")},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	params := bank.AvailabilityParams{Contract: binding.Contract}
+	fmt.Printf("negotiated Availability: replicas=%d strategy=%s voting=%v\n\n",
+		params.Replicas(), params.Strategy(), params.Voting())
+
+	if err := stub.Deposit(ctx, 100); err != nil {
+		return err
+	}
+	if err := stub.Deposit(ctx, 50); err != nil {
+		return err
+	}
+	balance, _ := stub.Balance(ctx)
+	fmt.Printf("deposited 100 + 50, balance = %.2f\n", balance)
+	for i, r := range replicas {
+		r.servant.mu.Lock()
+		fmt.Printf("  replica %d holds balance %.2f (%d entries)\n", i, r.servant.balance, len(r.servant.entries))
+		r.servant.mu.Unlock()
+	}
+
+	fmt.Println("\ncrashing rep1 ...")
+	n.Crash("rep1")
+	if newBalance, err := stub.Withdraw(ctx, 30); err != nil {
+		return err
+	} else {
+		fmt.Printf("withdraw 30 succeeded despite the crash, balance = %.2f (failure masked)\n", newBalance)
+	}
+
+	// Typed user exception across the replicated path.
+	if _, err := stub.Withdraw(ctx, 1_000_000); err != nil {
+		var overdrawn *bank.Overdrawn
+		if errors.As(err, &overdrawn) {
+			fmt.Printf("over-withdrawal rejected with typed exception: balance=%.2f requested=%.2f\n",
+				overdrawn.Balance, overdrawn.Requested)
+		} else {
+			return err
+		}
+	}
+
+	fmt.Println("\nrestarting rep1 with empty state and rejoining ...")
+	n.Restart("rep1")
+	r1, err := startReplica(n, "rep1", endpoints)
+	if err != nil {
+		return err
+	}
+	defer r1.orb.Shutdown()
+	if err := replication.Join(ctx, r1.orb, replicas[0].ref, "rep1:9000", r1.impl); err != nil {
+		return err
+	}
+	r1.servant.mu.Lock()
+	fmt.Printf("rejoined replica initialised via state transfer: balance = %.2f, %d entries\n",
+		r1.servant.balance, len(r1.servant.entries))
+	r1.servant.mu.Unlock()
+
+	if err := stub.Deposit(ctx, 5); err != nil {
+		return err
+	}
+	r1.servant.mu.Lock()
+	fmt.Printf("after one more deposit the rejoined replica holds %.2f\n", r1.servant.balance)
+	r1.servant.mu.Unlock()
+
+	entries, err := stub.History(ctx, 10)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\naccount history (%d entries):\n", len(entries))
+	for _, e := range entries {
+		fmt.Printf("  %-9s %+8.2f\n", e.Label, e.Amount)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module maqs
+
+go 1.22

@@ -1,0 +1,24 @@
+// Package cdr implements a Common Data Representation (CDR) style
+// marshalling format as used by GIOP-based object request brokers.
+//
+// CDR encodes primitive types at their natural alignment, measured from
+// the beginning of the encapsulated buffer. Both big-endian and
+// little-endian byte orders are supported; the byte order of an
+// encapsulation is carried out of band (in GIOP message headers, or in
+// the leading flag octet of an encapsulated octet sequence).
+//
+// The package provides three layers:
+//
+//   - Encoder and Decoder: streaming primitive marshalling with CDR
+//     alignment rules (strings carry a length-prefixed, NUL-terminated
+//     representation; sequences carry a ULong element count).
+//   - TypeCode: a runtime description of a CDR type, sufficient for the
+//     dynamic invocation interface to marshal values it has never seen a
+//     stub for.
+//   - Any: a self-describing value (TypeCode plus Go value) that can be
+//     marshalled and unmarshalled generically.
+//
+// The format implemented here is CDR in structure (alignment, encoding of
+// each primitive) but is not wire-compatible with any particular ORB
+// product; see DESIGN.md for the substitution rationale.
+package cdr

@@ -1,0 +1,243 @@
+package compression
+
+import (
+	"bytes"
+	"compress/flate"
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"maqs/internal/cdr"
+	"maqs/internal/giop"
+	"maqs/internal/orb"
+	"maqs/internal/qos/transport"
+)
+
+// Wire format of a flate-wrapped payload: one flag octet (0 = stored,
+// 1 = deflate), the original length as ULong, then the body bytes.
+const (
+	frameStored  byte = 0
+	frameDeflate byte = 1
+)
+
+// Stats counts the module's traffic for the bandwidth experiments.
+type Stats struct {
+	// RawBytes is the total payload size before compression.
+	RawBytes uint64
+	// WireBytes is the total payload size after compression.
+	WireBytes uint64
+	// Compressed and Stored count payloads per frame type.
+	Compressed, Stored uint64
+}
+
+// Module is the "flate" transport module.
+type Module struct {
+	level   int
+	minSize int
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+var _ transport.Module = (*Module)(nil)
+
+// NewModule constructs the module from a config with optional "level"
+// (1..9, default 6) and "min_size" (bytes, default 128) keys. It is the
+// transport factory for ModuleName.
+func NewModule(_ *transport.Transport, config map[string]string) (transport.Module, error) {
+	m := &Module{level: 6, minSize: 128}
+	if v, ok := config["level"]; ok {
+		level, err := strconv.Atoi(v)
+		if err != nil || level < 1 || level > 9 {
+			return nil, fmt.Errorf("compression: bad level %q", v)
+		}
+		m.level = level
+	}
+	if v, ok := config["min_size"]; ok {
+		minSize, err := strconv.Atoi(v)
+		if err != nil || minSize < 0 {
+			return nil, fmt.Errorf("compression: bad min_size %q", v)
+		}
+		m.minSize = minSize
+	}
+	return m, nil
+}
+
+// Name implements transport.Module.
+func (m *Module) Name() string { return ModuleName }
+
+// Close implements transport.Module.
+func (m *Module) Close() error { return nil }
+
+// Stats snapshots the traffic counters.
+func (m *Module) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+func (m *Module) account(raw, wire int, compressed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.RawBytes += uint64(raw)
+	m.stats.WireBytes += uint64(wire)
+	if compressed {
+		m.stats.Compressed++
+	} else {
+		m.stats.Stored++
+	}
+}
+
+// wrap frames (and possibly compresses) a payload.
+func (m *Module) wrap(p []byte) ([]byte, error) {
+	if len(p) >= m.minSize {
+		var buf bytes.Buffer
+		buf.WriteByte(frameDeflate)
+		var lenPrefix [4]byte
+		putULongBE(lenPrefix[:], uint32(len(p)))
+		buf.Write(lenPrefix[:])
+		w, err := flate.NewWriter(&buf, m.level)
+		if err != nil {
+			return nil, fmt.Errorf("compression: creating writer: %w", err)
+		}
+		if _, err := w.Write(p); err != nil {
+			return nil, fmt.Errorf("compression: compressing: %w", err)
+		}
+		if err := w.Close(); err != nil {
+			return nil, fmt.Errorf("compression: flushing: %w", err)
+		}
+		// Incompressible payloads can grow; fall back to stored.
+		if buf.Len() < len(p)+5 {
+			m.account(len(p), buf.Len(), true)
+			return buf.Bytes(), nil
+		}
+	}
+	out := make([]byte, 0, len(p)+5)
+	out = append(out, frameStored, 0, 0, 0, 0)
+	putULongBE(out[1:5], uint32(len(p)))
+	out = append(out, p...)
+	m.account(len(p), len(out), false)
+	return out, nil
+}
+
+// unwrap reverses wrap.
+func (m *Module) unwrap(p []byte) ([]byte, error) {
+	if len(p) < 5 {
+		return nil, fmt.Errorf("compression: frame too short (%d bytes)", len(p))
+	}
+	origLen := getULongBE(p[1:5])
+	if origLen > 64<<20 {
+		return nil, fmt.Errorf("compression: original length %d exceeds limit", origLen)
+	}
+	switch p[0] {
+	case frameStored:
+		if int(origLen) != len(p)-5 {
+			return nil, fmt.Errorf("compression: stored frame length mismatch")
+		}
+		return p[5:], nil
+	case frameDeflate:
+		r := flate.NewReader(bytes.NewReader(p[5:]))
+		defer r.Close()
+		out := make([]byte, 0, origLen)
+		buf := bytes.NewBuffer(out)
+		if _, err := io.CopyN(buf, r, int64(origLen)); err != nil {
+			return nil, fmt.Errorf("compression: decompressing: %w", err)
+		}
+		// Trailing garbage would mean a corrupted frame.
+		var tail [1]byte
+		if n, _ := r.Read(tail[:]); n != 0 {
+			return nil, fmt.Errorf("compression: trailing bytes after deflate stream")
+		}
+		return buf.Bytes(), nil
+	default:
+		return nil, fmt.Errorf("compression: unknown frame type %d", p[0])
+	}
+}
+
+// Send implements transport.Module: compress the request payload, send,
+// decompress the reply.
+func (m *Module) Send(ctx context.Context, inv *orb.Invocation, next transport.Next) (*orb.Outcome, error) {
+	wrapped := inv.Clone()
+	args, err := m.wrap(inv.Args)
+	if err != nil {
+		return nil, err
+	}
+	wrapped.Args = args
+	out, err := next(ctx, wrapped)
+	if err != nil {
+		return nil, err
+	}
+	if out.Status != giop.ReplyNoException {
+		return out, nil // exceptions travel uncompressed
+	}
+	data, err := m.unwrap(out.Data)
+	if err != nil {
+		return nil, err
+	}
+	out.Data = data
+	return out, nil
+}
+
+// ServerFilter implements transport.Module.
+func (m *Module) ServerFilter() orb.IncomingFilter { return (*serverFilter)(m) }
+
+type serverFilter Module
+
+func (f *serverFilter) Inbound(req *orb.ServerRequest) error {
+	args, err := (*Module)(f).unwrap(req.Args)
+	if err != nil {
+		return err
+	}
+	req.Args = args
+	return nil
+}
+
+func (f *serverFilter) Outbound(req *orb.ServerRequest, status giop.ReplyStatus, body []byte) ([]byte, error) {
+	if status != giop.ReplyNoException {
+		return body, nil
+	}
+	return (*Module)(f).wrap(body)
+}
+
+// Dynamic implements transport.Module: the module-specific dynamic
+// interface exposes its traffic statistics.
+func (m *Module) Dynamic() *orb.DynamicServant {
+	return &orb.DynamicServant{Ops: map[string]orb.DynamicOp{
+		"stats": {
+			Result: cdr.StructOf("FlateStats",
+				cdr.Field{Name: "raw", Type: cdr.TCULongLong},
+				cdr.Field{Name: "wire", Type: cdr.TCULongLong},
+				cdr.Field{Name: "compressed", Type: cdr.TCULongLong},
+				cdr.Field{Name: "stored", Type: cdr.TCULongLong},
+			),
+			Handler: func([]cdr.Any) (cdr.Any, error) {
+				s := m.Stats()
+				tc := cdr.StructOf("FlateStats",
+					cdr.Field{Name: "raw", Type: cdr.TCULongLong},
+					cdr.Field{Name: "wire", Type: cdr.TCULongLong},
+					cdr.Field{Name: "compressed", Type: cdr.TCULongLong},
+					cdr.Field{Name: "stored", Type: cdr.TCULongLong},
+				)
+				return cdr.NewAny(tc, map[string]cdr.Any{
+					"raw":        cdr.NewAny(cdr.TCULongLong, s.RawBytes),
+					"wire":       cdr.NewAny(cdr.TCULongLong, s.WireBytes),
+					"compressed": cdr.NewAny(cdr.TCULongLong, s.Compressed),
+					"stored":     cdr.NewAny(cdr.TCULongLong, s.Stored),
+				}), nil
+			},
+		},
+	}}
+}
+
+func putULongBE(p []byte, v uint32) {
+	p[0] = byte(v >> 24)
+	p[1] = byte(v >> 16)
+	p[2] = byte(v >> 8)
+	p[3] = byte(v)
+}
+
+func getULongBE(p []byte) uint32 {
+	return uint32(p[0])<<24 | uint32(p[1])<<16 | uint32(p[2])<<8 | uint32(p[3])
+}

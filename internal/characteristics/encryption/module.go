@@ -1,0 +1,296 @@
+package encryption
+
+import (
+	"context"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"fmt"
+	"sync"
+
+	"maqs/internal/cdr"
+	"maqs/internal/giop"
+	"maqs/internal/orb"
+	"maqs/internal/qos"
+	"maqs/internal/qos/transport"
+)
+
+// sessionKeys holds the derived key material of one binding.
+type sessionKeys struct {
+	enc [32]byte // AES-256 key
+	mac [32]byte // HMAC-SHA256 key
+}
+
+// deriveKeys computes the session keys from the X25519 shared secret and
+// the binding ID (domain-separated SHA-256; both sides compute the same).
+func deriveKeys(shared []byte, bindingID string) sessionKeys {
+	var k sessionKeys
+	k.enc = sha256.Sum256(append(append([]byte("maqs-enc|"), shared...), bindingID...))
+	k.mac = sha256.Sum256(append(append([]byte("maqs-mac|"), shared...), bindingID...))
+	return k
+}
+
+// Stats counts the module's activity.
+type Stats struct {
+	// Handshakes counts completed key exchanges.
+	Handshakes uint64
+	// Sealed and Opened count protected payloads in each direction.
+	Sealed, Opened uint64
+	// AuthFailures counts integrity check rejections.
+	AuthFailures uint64
+}
+
+// Module is the "secure" transport module.
+type Module struct {
+	mu    sync.Mutex
+	keys  map[string]sessionKeys // by binding ID
+	stats Stats
+	// transport gives the client side access to the ORB for the
+	// handshake command.
+	transport *transport.Transport
+}
+
+var _ transport.Module = (*Module)(nil)
+
+// NewModule constructs the module; it takes no configuration. It is the
+// transport factory for ModuleName.
+func NewModule(t *transport.Transport, _ map[string]string) (transport.Module, error) {
+	return &Module{keys: make(map[string]sessionKeys), transport: t}, nil
+}
+
+// Name implements transport.Module.
+func (m *Module) Name() string { return ModuleName }
+
+// Close implements transport.Module, wiping key material.
+func (m *Module) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, k := range m.keys {
+		for i := range k.enc {
+			k.enc[i] = 0
+			k.mac[i] = 0
+		}
+		delete(m.keys, id)
+	}
+	return nil
+}
+
+// Stats snapshots the module counters.
+func (m *Module) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+func (m *Module) lookup(bindingID string) (sessionKeys, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k, ok := m.keys[bindingID]
+	return k, ok
+}
+
+func (m *Module) store(bindingID string, k sessionKeys) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.keys[bindingID] = k
+	m.stats.Handshakes++
+}
+
+// seal protects a payload: 16-byte CTR IV || ciphertext || 32-byte HMAC
+// over bindingID || iv || ciphertext.
+func (m *Module) seal(k sessionKeys, bindingID string, p []byte) ([]byte, error) {
+	block, err := aes.NewCipher(k.enc[:])
+	if err != nil {
+		return nil, fmt.Errorf("encryption: cipher setup: %w", err)
+	}
+	out := make([]byte, aes.BlockSize+len(p)+sha256.Size)
+	iv := out[:aes.BlockSize]
+	if _, err := rand.Read(iv); err != nil {
+		return nil, fmt.Errorf("encryption: reading IV: %w", err)
+	}
+	cipher.NewCTR(block, iv).XORKeyStream(out[aes.BlockSize:aes.BlockSize+len(p)], p)
+	mac := hmac.New(sha256.New, k.mac[:])
+	mac.Write([]byte(bindingID))
+	mac.Write(out[:aes.BlockSize+len(p)])
+	copy(out[aes.BlockSize+len(p):], mac.Sum(nil))
+	m.mu.Lock()
+	m.stats.Sealed++
+	m.mu.Unlock()
+	return out, nil
+}
+
+// open reverses seal, verifying the HMAC first.
+func (m *Module) open(k sessionKeys, bindingID string, p []byte) ([]byte, error) {
+	if len(p) < aes.BlockSize+sha256.Size {
+		return nil, fmt.Errorf("encryption: frame too short (%d bytes)", len(p))
+	}
+	body := p[:len(p)-sha256.Size]
+	tag := p[len(p)-sha256.Size:]
+	mac := hmac.New(sha256.New, k.mac[:])
+	mac.Write([]byte(bindingID))
+	mac.Write(body)
+	if subtle.ConstantTimeCompare(tag, mac.Sum(nil)) != 1 {
+		m.mu.Lock()
+		m.stats.AuthFailures++
+		m.mu.Unlock()
+		return nil, fmt.Errorf("encryption: integrity check failed")
+	}
+	block, err := aes.NewCipher(k.enc[:])
+	if err != nil {
+		return nil, fmt.Errorf("encryption: cipher setup: %w", err)
+	}
+	out := make([]byte, len(body)-aes.BlockSize)
+	cipher.NewCTR(block, body[:aes.BlockSize]).XORKeyStream(out, body[aes.BlockSize:])
+	m.mu.Lock()
+	m.stats.Opened++
+	m.mu.Unlock()
+	return out, nil
+}
+
+// handshake performs the client side of the X25519 exchange through the
+// server module's dynamic interface.
+func (m *Module) handshake(ctx context.Context, inv *orb.Invocation, bindingID string) (sessionKeys, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return sessionKeys{}, fmt.Errorf("encryption: generating key: %w", err)
+	}
+	ctl := transport.NewController(m.transport.ORB(), inv.Target)
+	e := cdr.NewEncoder(m.transport.ORB().Order())
+	e.WriteString(bindingID)
+	e.WriteOctets(priv.PublicKey().Bytes())
+	d, err := ctl.ModuleCommand(ctx, ModuleName, "handshake", e.Bytes())
+	if err != nil {
+		return sessionKeys{}, fmt.Errorf("encryption: handshake: %w", err)
+	}
+	peerPubBytes, err := d.ReadOctets()
+	if err != nil {
+		return sessionKeys{}, fmt.Errorf("encryption: reading peer key: %w", err)
+	}
+	peerPub, err := ecdh.X25519().NewPublicKey(peerPubBytes)
+	if err != nil {
+		return sessionKeys{}, fmt.Errorf("encryption: bad peer key: %w", err)
+	}
+	shared, err := priv.ECDH(peerPub)
+	if err != nil {
+		return sessionKeys{}, fmt.Errorf("encryption: deriving shared secret: %w", err)
+	}
+	keys := deriveKeys(shared, bindingID)
+	m.store(bindingID, keys)
+	return keys, nil
+}
+
+// Send implements transport.Module: establish keys if needed, seal the
+// request, open the reply.
+func (m *Module) Send(ctx context.Context, inv *orb.Invocation, next transport.Next) (*orb.Outcome, error) {
+	tag, tagged, err := qos.TagFromContexts(inv.Contexts)
+	if err != nil || !tagged {
+		return nil, fmt.Errorf("encryption: request without QoS tag: %v", err)
+	}
+	keys, ok := m.lookup(tag.BindingID)
+	if !ok {
+		if keys, err = m.handshake(ctx, inv, tag.BindingID); err != nil {
+			return nil, err
+		}
+	}
+	wrapped := inv.Clone()
+	if wrapped.Args, err = m.seal(keys, tag.BindingID, inv.Args); err != nil {
+		return nil, err
+	}
+	out, err := next(ctx, wrapped)
+	if err != nil {
+		return nil, err
+	}
+	if out.Status != giop.ReplyNoException {
+		return out, nil
+	}
+	if out.Data, err = m.open(keys, tag.BindingID, out.Data); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ServerFilter implements transport.Module.
+func (m *Module) ServerFilter() orb.IncomingFilter { return (*serverFilter)(m) }
+
+type serverFilter Module
+
+func (f *serverFilter) Inbound(req *orb.ServerRequest) error {
+	m := (*Module)(f)
+	tag, tagged, err := qos.TagFromContexts(req.Contexts)
+	if err != nil || !tagged {
+		return fmt.Errorf("encryption: request without QoS tag: %v", err)
+	}
+	keys, ok := m.lookup(tag.BindingID)
+	if !ok {
+		return orb.NewSystemException(orb.ExcBadQoS, 70,
+			"no session keys for binding %q (handshake missing)", tag.BindingID)
+	}
+	args, err := m.open(keys, tag.BindingID, req.Args)
+	if err != nil {
+		return err
+	}
+	req.Args = args
+	return nil
+}
+
+func (f *serverFilter) Outbound(req *orb.ServerRequest, status giop.ReplyStatus, body []byte) ([]byte, error) {
+	if status != giop.ReplyNoException {
+		return body, nil
+	}
+	m := (*Module)(f)
+	tag, tagged, err := qos.TagFromContexts(req.Contexts)
+	if err != nil || !tagged {
+		return nil, fmt.Errorf("encryption: reply without QoS tag: %v", err)
+	}
+	keys, ok := m.lookup(tag.BindingID)
+	if !ok {
+		return nil, fmt.Errorf("encryption: no session keys for binding %q", tag.BindingID)
+	}
+	return m.seal(keys, tag.BindingID, body)
+}
+
+// Dynamic implements transport.Module: the handshake endpoint and a
+// rekey operation ("on the fly change of encryption keys").
+func (m *Module) Dynamic() *orb.DynamicServant {
+	octets := cdr.SequenceOf(cdr.TCOctet)
+	return &orb.DynamicServant{Ops: map[string]orb.DynamicOp{
+		"handshake": {
+			Params: []*cdr.TypeCode{cdr.TCString, octets},
+			Result: octets,
+			Handler: func(args []cdr.Any) (cdr.Any, error) {
+				bindingID := args[0].Value.(string)
+				peerPubBytes := args[1].Value.([]byte)
+				peerPub, err := ecdh.X25519().NewPublicKey(peerPubBytes)
+				if err != nil {
+					return cdr.Any{}, orb.NewSystemException(orb.ExcBadParam, 71, "bad client key: %v", err)
+				}
+				priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+				if err != nil {
+					return cdr.Any{}, fmt.Errorf("encryption: generating key: %w", err)
+				}
+				shared, err := priv.ECDH(peerPub)
+				if err != nil {
+					return cdr.Any{}, orb.NewSystemException(orb.ExcBadParam, 72, "deriving shared secret: %v", err)
+				}
+				m.store(bindingID, deriveKeys(shared, bindingID))
+				return cdr.Octets(priv.PublicKey().Bytes()), nil
+			},
+		},
+		"drop_session": {
+			Params: []*cdr.TypeCode{cdr.TCString},
+			Result: cdr.TCBoolean,
+			Handler: func(args []cdr.Any) (cdr.Any, error) {
+				bindingID := args[0].Value.(string)
+				m.mu.Lock()
+				_, existed := m.keys[bindingID]
+				delete(m.keys, bindingID)
+				m.mu.Unlock()
+				return cdr.Bool(existed), nil
+			},
+		},
+	}}
+}

@@ -1,0 +1,194 @@
+// Package contract implements hierarchies of contracts: the client
+// preference representation the paper's outlook points to ("client
+// preferences have to be incorporated in the negotiation process ...
+// representing Quality of Service preferences by hierarchies of
+// contracts", ref [5]).
+//
+// A hierarchy is a tree whose leaves are QoS proposals annotated with a
+// utility, and whose inner nodes express how alternatives combine:
+//
+//   - Best: negotiate the feasible child with the highest achieved
+//     utility ("there is no system wide shared view on QoS levels" — the
+//     client ranks).
+//   - Fallback: an ordered preference list; the first feasible child
+//     wins regardless of utility (a strict hierarchy of contracts).
+//
+// Planning evaluates feasibility and achieved utility against the
+// server's offers before anything is negotiated; NegotiateBest then walks
+// the plan until one proposal is accepted, tolerating servers whose
+// admission control rejects what their offers promised.
+package contract
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"maqs/internal/qos"
+)
+
+// NodeKind discriminates hierarchy nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	// Leaf proposes one contract.
+	Leaf NodeKind = iota + 1
+	// Best picks the feasible child with maximal achieved utility.
+	Best
+	// Fallback picks the first feasible child in order.
+	Fallback
+)
+
+// Node is one hierarchy node.
+type Node struct {
+	// Kind discriminates the node.
+	Kind NodeKind
+	// Label names the node in plans and diagnostics.
+	Label string
+	// Proposal is the leaf's proposal.
+	Proposal *qos.Proposal
+	// Utility is the leaf's base utility (how much the client values
+	// this contract when granted exactly as desired).
+	Utility float64
+	// Children of Best and Fallback nodes.
+	Children []*Node
+}
+
+// NewLeaf builds a leaf node.
+func NewLeaf(label string, utility float64, p *qos.Proposal) *Node {
+	return &Node{Kind: Leaf, Label: label, Utility: utility, Proposal: p}
+}
+
+// NewBest builds a utility-maximising alternative node.
+func NewBest(label string, children ...*Node) *Node {
+	return &Node{Kind: Best, Label: label, Children: children}
+}
+
+// NewFallback builds an ordered preference node.
+func NewFallback(label string, children ...*Node) *Node {
+	return &Node{Kind: Fallback, Label: label, Children: children}
+}
+
+// Candidate is one planned negotiation attempt.
+type Candidate struct {
+	// Label of the originating leaf.
+	Label string
+	// Proposal to negotiate.
+	Proposal *qos.Proposal
+	// Utility achieved against the offer (degraded when the offer can
+	// only grant a clamped value).
+	Utility float64
+	// Contract is the locally resolved contract (what the server's
+	// offer would grant).
+	Contract *qos.Contract
+}
+
+// Plan evaluates the hierarchy against a set of offers (by characteristic
+// name) and returns the candidates in negotiation order. An empty plan
+// means no leaf is feasible.
+func (n *Node) Plan(offers map[string]*qos.Offer) []Candidate {
+	switch n.Kind {
+	case Leaf:
+		if n.Proposal == nil {
+			return nil
+		}
+		offer, ok := offers[n.Proposal.Characteristic]
+		if !ok {
+			return nil
+		}
+		contract, err := qos.Resolve(n.Proposal, offer)
+		if err != nil {
+			return nil
+		}
+		return []Candidate{{
+			Label:    n.Label,
+			Proposal: n.Proposal,
+			Utility:  n.Utility * satisfaction(n.Proposal, contract, offer),
+			Contract: contract,
+		}}
+	case Best:
+		var all []Candidate
+		for _, child := range n.Children {
+			all = append(all, child.Plan(offers)...)
+		}
+		sort.SliceStable(all, func(i, j int) bool { return all[i].Utility > all[j].Utility })
+		return all
+	case Fallback:
+		var all []Candidate
+		for _, child := range n.Children {
+			all = append(all, child.Plan(offers)...)
+		}
+		return all
+	default:
+		return nil
+	}
+}
+
+// satisfaction scores how closely a resolved contract matches the
+// proposal's desires in [0, 1]: each weighted numeric parameter
+// contributes 1 when granted exactly, linearly less as the grant deviates
+// relative to the offered range; unweighted parameters count fully.
+func satisfaction(p *qos.Proposal, c *qos.Contract, o *qos.Offer) float64 {
+	var weightSum, score float64
+	for _, pp := range p.Params {
+		w := pp.Weight
+		if w <= 0 {
+			continue
+		}
+		weightSum += w
+		granted := c.Value(pp.Name)
+		if pp.Desired.Kind != qos.KindNumber || granted.Kind != qos.KindNumber {
+			if granted.Equal(pp.Desired) {
+				score += w
+			}
+			continue
+		}
+		po, ok := o.Param(pp.Name)
+		span := po.Max - po.Min
+		if !ok || span <= 0 {
+			if granted.Num == pp.Desired.Num {
+				score += w
+			}
+			continue
+		}
+		dev := math.Abs(granted.Num-pp.Desired.Num) / span
+		if dev > 1 {
+			dev = 1
+		}
+		score += w * (1 - dev)
+	}
+	if weightSum == 0 {
+		return 1
+	}
+	return score / weightSum
+}
+
+// NegotiateBest plans the hierarchy against the stub's server and
+// negotiates candidates in plan order until one is admitted. It returns
+// the established binding and the winning candidate.
+func NegotiateBest(ctx context.Context, stub *qos.Stub, root *Node) (*qos.Binding, Candidate, error) {
+	offers, err := qos.QueryOffers(ctx, stub.ORB(), stub.Target())
+	if err != nil {
+		return nil, Candidate{}, fmt.Errorf("contract: querying offers: %w", err)
+	}
+	byName := make(map[string]*qos.Offer, len(offers))
+	for _, o := range offers {
+		byName[o.Characteristic] = o
+	}
+	plan := root.Plan(byName)
+	if len(plan) == 0 {
+		return nil, Candidate{}, fmt.Errorf("contract: no feasible contract in hierarchy %q", root.Label)
+	}
+	var lastErr error
+	for _, cand := range plan {
+		binding, err := stub.Negotiate(ctx, cand.Proposal)
+		if err != nil {
+			lastErr = err
+			continue // admission may refuse what the offer promised
+		}
+		return binding, cand, nil
+	}
+	return nil, Candidate{}, fmt.Errorf("contract: every candidate rejected, last error: %w", lastErr)
+}

@@ -1,0 +1,228 @@
+package contract
+
+import (
+	"context"
+	"testing"
+
+	"maqs/internal/ior"
+	"maqs/internal/netsim"
+	"maqs/internal/orb"
+	"maqs/internal/qos"
+)
+
+func offers() map[string]*qos.Offer {
+	return map[string]*qos.Offer{
+		"Availability": {
+			Characteristic: "Availability",
+			Params: []qos.ParamOffer{
+				{Name: "replicas", Kind: qos.KindNumber, Min: 1, Max: 3, Default: qos.Number(2)},
+			},
+		},
+		"Compression": {
+			Characteristic: "Compression",
+			Params: []qos.ParamOffer{
+				{Name: "level", Kind: qos.KindNumber, Min: 1, Max: 9, Default: qos.Number(6)},
+			},
+		},
+	}
+}
+
+func leafAvail(label string, replicas, weight, utility float64) *Node {
+	return NewLeaf(label, utility, &qos.Proposal{
+		Characteristic: "Availability",
+		Params: []qos.ParamProposal{
+			{Name: "replicas", Desired: qos.Number(replicas), Weight: weight},
+		},
+	})
+}
+
+func TestLeafPlanFeasible(t *testing.T) {
+	plan := leafAvail("gold", 3, 1, 10).Plan(offers())
+	if len(plan) != 1 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan[0].Utility != 10 {
+		t.Fatalf("utility = %g", plan[0].Utility)
+	}
+	if plan[0].Contract.Number("replicas", 0) != 3 {
+		t.Fatalf("contract = %+v", plan[0].Contract)
+	}
+}
+
+func TestLeafUtilityDegradesWhenClamped(t *testing.T) {
+	// Desired 5, offer max 3 over range [1,3]: granted 3, deviation
+	// |3-5|/2 = 1 → clamped to 1 → satisfaction 0.
+	plan := leafAvail("platinum", 5, 1, 10).Plan(offers())
+	if len(plan) != 1 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan[0].Utility != 0 {
+		t.Fatalf("utility = %g, want 0", plan[0].Utility)
+	}
+	// Desired 4: deviation |3-4|/2 = 0.5 → utility 5.
+	plan = leafAvail("gold+", 4, 1, 10).Plan(offers())
+	if plan[0].Utility != 5 {
+		t.Fatalf("utility = %g, want 5", plan[0].Utility)
+	}
+}
+
+func TestLeafInfeasible(t *testing.T) {
+	n := NewLeaf("impossible", 10, &qos.Proposal{
+		Characteristic: "Availability",
+		Params:         []qos.ParamProposal{{Name: "replicas", Desired: qos.Number(9), Min: 5, Max: 9}},
+	})
+	if plan := n.Plan(offers()); len(plan) != 0 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	unknown := NewLeaf("unknown", 1, &qos.Proposal{Characteristic: "Teleportation"})
+	if plan := unknown.Plan(offers()); len(plan) != 0 {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+func TestBestOrdersByUtility(t *testing.T) {
+	root := NewBest("root",
+		leafAvail("cheap", 1, 1, 2),
+		leafAvail("good", 3, 1, 8),
+		leafAvail("degraded", 4, 1, 10), // clamped → utility 5
+	)
+	plan := root.Plan(offers())
+	if len(plan) != 3 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan[0].Label != "good" || plan[1].Label != "degraded" || plan[2].Label != "cheap" {
+		t.Fatalf("order = %s %s %s", plan[0].Label, plan[1].Label, plan[2].Label)
+	}
+}
+
+func TestFallbackKeepsOrder(t *testing.T) {
+	root := NewFallback("root",
+		leafAvail("first", 1, 1, 1),
+		leafAvail("second", 3, 1, 100),
+	)
+	plan := root.Plan(offers())
+	if plan[0].Label != "first" {
+		t.Fatalf("fallback order broken: %+v", plan)
+	}
+}
+
+func TestNestedHierarchy(t *testing.T) {
+	root := NewFallback("root",
+		NewBest("availability",
+			leafAvail("av-hi", 3, 1, 9),
+			leafAvail("av-lo", 2, 1, 4),
+		),
+		NewLeaf("compress", 1, &qos.Proposal{
+			Characteristic: "Compression",
+			Params:         []qos.ParamProposal{{Name: "level", Desired: qos.Number(9)}},
+		}),
+	)
+	plan := root.Plan(offers())
+	if len(plan) != 3 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan[0].Label != "av-hi" || plan[2].Label != "compress" {
+		t.Fatalf("order = %+v", plan)
+	}
+}
+
+func TestUnweightedParamsFullSatisfaction(t *testing.T) {
+	plan := leafAvail("nw", 5, 0, 7).Plan(offers()) // weight 0 → no degradation
+	if plan[0].Utility != 7 {
+		t.Fatalf("utility = %g", plan[0].Utility)
+	}
+}
+
+// vetoImpl admits only level <= 3 despite offering up to 9 — exercising
+// the negotiate-until-admitted loop.
+type vetoImpl struct {
+	qos.BaseImpl
+}
+
+func (v *vetoImpl) BindingUp(b *qos.Binding) error {
+	if b.Contract.Number("level", 0) > 3 {
+		return context.DeadlineExceeded // any error vetoes
+	}
+	return nil
+}
+
+func TestNegotiateBestEndToEnd(t *testing.T) {
+	n := netsim.NewNetwork()
+	server := orb.New(orb.Options{Transport: n.Host("server")})
+	if err := server.Listen("server:9990"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	impl := &vetoImpl{}
+	impl.Desc = &qos.Characteristic{Name: "Compression"}
+	impl.Capability = &qos.Offer{
+		Characteristic: "Compression",
+		Params: []qos.ParamOffer{
+			{Name: "level", Kind: qos.KindNumber, Min: 1, Max: 9, Default: qos.Number(6)},
+		},
+	}
+	skel := qos.NewServerSkeleton(orb.ServantFunc(func(req *orb.ServerRequest) error {
+		return nil
+	}))
+	if err := skel.AddQoS(impl); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := server.Adapter().ActivateQoS("svc", "IDL:test/Svc:1.0", skel,
+		ior.QoSInfo{Characteristics: []string{"Compression"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := orb.New(orb.Options{Transport: n.Host("client")})
+	defer client.Shutdown()
+	registry := qos.NewRegistry()
+	if err := registry.Register(&qos.Characteristic{Name: "Compression"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	stub := qos.NewStubWithRegistry(client, ref, registry)
+
+	root := NewFallback("compression-prefs",
+		NewLeaf("max", 10, &qos.Proposal{
+			Characteristic: "Compression",
+			Params:         []qos.ParamProposal{{Name: "level", Desired: qos.Number(9)}},
+		}),
+		NewLeaf("modest", 5, &qos.Proposal{
+			Characteristic: "Compression",
+			Params:         []qos.ParamProposal{{Name: "level", Desired: qos.Number(2)}},
+		}),
+	)
+	binding, winner, err := NegotiateBest(context.Background(), stub, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "max" resolves but admission vetoes it; "modest" wins.
+	if winner.Label != "modest" {
+		t.Fatalf("winner = %+v", winner)
+	}
+	if binding.Contract.Number("level", 0) != 2 {
+		t.Fatalf("contract = %+v", binding.Contract)
+	}
+	if stub.Binding() == nil {
+		t.Fatal("stub not bound")
+	}
+}
+
+func TestNegotiateBestNoFeasible(t *testing.T) {
+	n := netsim.NewNetwork()
+	server := orb.New(orb.Options{Transport: n.Host("server")})
+	if err := server.Listen("server:9991"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	skel := qos.NewServerSkeleton(orb.ServantFunc(func(req *orb.ServerRequest) error { return nil }))
+	ref, err := server.Adapter().Activate("svc", "IDL:test/Svc:1.0", skel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := orb.New(orb.Options{Transport: n.Host("client")})
+	defer client.Shutdown()
+	stub := qos.NewStub(client, ref)
+	root := NewLeaf("anything", 1, &qos.Proposal{Characteristic: "Availability"})
+	if _, _, err := NegotiateBest(context.Background(), stub, root); err == nil {
+		t.Fatal("negotiation against offerless server succeeded")
+	}
+}

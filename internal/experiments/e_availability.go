@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"maqs/internal/cdr"
+	"maqs/internal/characteristics/replication"
+	"maqs/internal/ior"
+	"maqs/internal/netsim"
+	"maqs/internal/orb"
+	"maqs/internal/qos"
+)
+
+// counterServant is a deterministic stateful servant with state access.
+type counterServant struct {
+	mu    sync.Mutex
+	value int64
+}
+
+func (s *counterServant) Invoke(req *orb.ServerRequest) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch req.Operation {
+	case "add":
+		v, err := req.In().ReadLongLong()
+		if err != nil {
+			return err
+		}
+		s.value += v
+		req.Out.WriteLongLong(s.value)
+		return nil
+	default:
+		return orb.NewSystemException(orb.ExcBadOperation, 1, "no op %q", req.Operation)
+	}
+}
+
+func (s *counterServant) GetState() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteLongLong(s.value)
+	return e.Bytes(), nil
+}
+
+func (s *counterServant) SetState(data []byte) error {
+	v, err := cdr.NewDecoder(data, cdr.BigEndian).ReadLongLong()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.value = v
+	return nil
+}
+
+// E3Replication measures availability under crash injection for replica
+// counts k=1..5: k-1 replicas are crashed at evenly spaced points of a
+// request sequence, and the table reports how many requests succeeded.
+func E3Replication() (*Table, error) {
+	t := &Table{
+		ID:     "E3",
+		Title:  "availability under crash injection (active replication)",
+		Claim:  "§3.1/§6: 'as long as there is one replica running, the service can be fulfilled' — fault-tolerance through replica groups",
+		Header: []string{"replicas k", "crashes", "requests", "succeeded", "availability", "masked failures"},
+	}
+	const requests = 200
+	for k := 1; k <= 5; k++ {
+		n := netsim.NewNetwork()
+		endpoints := make([]string, k)
+		for i := range endpoints {
+			endpoints[i] = fmt.Sprintf("rep%d:1", i)
+		}
+		var orbs []*orb.ORB
+		var firstRef *ior.IOR
+		for i := 0; i < k; i++ {
+			o := orb.New(orb.Options{Transport: n.Host(fmt.Sprintf("rep%d", i))})
+			if err := o.Listen(endpoints[i]); err != nil {
+				return nil, err
+			}
+			servant := &counterServant{}
+			skel := qos.NewServerSkeleton(servant)
+			if err := skel.AddQoS(replication.NewImpl(8, endpoints, servant)); err != nil {
+				return nil, err
+			}
+			ref, err := o.Adapter().ActivateQoS("counter", "IDL:x/Counter:1.0", skel,
+				ior.QoSInfo{Characteristics: []string{replication.Name}})
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				firstRef = ref
+			}
+			orbs = append(orbs, o)
+		}
+		cluster := firstRef.Clone()
+		cluster.SetAlternateEndpoints(endpoints)
+		client := orb.New(orb.Options{Transport: n.Host("client")})
+		registry := qos.NewRegistry()
+		if err := replication.Register(registry); err != nil {
+			return nil, err
+		}
+		stub := qos.NewStubWithRegistry(client, cluster, registry)
+		if _, err := stub.Negotiate(context.Background(), &qos.Proposal{
+			Characteristic: replication.Name,
+			Params:         []qos.ParamProposal{{Name: "replicas", Desired: qos.Number(float64(k))}},
+		}); err != nil {
+			return nil, err
+		}
+
+		crashes := k - 1
+		crashAt := make(map[int]int) // request index → replica to crash
+		for c := 0; c < crashes; c++ {
+			crashAt[(c+1)*requests/(crashes+1)] = c + 1
+		}
+		succeeded := 0
+		e := cdr.NewEncoder(client.Order())
+		e.WriteLongLong(1)
+		args := e.Bytes()
+		for i := 0; i < requests; i++ {
+			if victim, crash := crashAt[i]; crash {
+				n.Crash(fmt.Sprintf("rep%d", victim))
+			}
+			out, err := stub.Call(context.Background(), "add", args)
+			if err == nil {
+				if _, derr := out.ReadLongLong(); derr == nil {
+					succeeded++
+				}
+			}
+		}
+		med := stub.Mediator().(*replication.Mediator)
+		stats := med.Stats()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", k),
+			fmt.Sprintf("%d", crashes),
+			fmt.Sprintf("%d", requests),
+			fmt.Sprintf("%d", succeeded),
+			fmtPct(float64(succeeded) / float64(requests)),
+			fmt.Sprintf("%d", stats.MaskedFailures),
+		})
+		client.Shutdown()
+		for _, o := range orbs {
+			o.Shutdown()
+		}
+	}
+	t.Notes = append(t.Notes,
+		"availability stays at 100% for every k because k-1 crashes never exhaust the group (k-availability); masked failures grow with the crash count")
+	return t, nil
+}

@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"maqs/internal/cdr"
+	"maqs/internal/characteristics/compression"
+	"maqs/internal/characteristics/encryption"
+	"maqs/internal/ior"
+	"maqs/internal/netsim"
+	"maqs/internal/orb"
+	"maqs/internal/qos"
+	"maqs/internal/qos/transport"
+)
+
+// docServant serves a fixed document.
+type docServant struct{ doc []byte }
+
+func (s *docServant) Invoke(req *orb.ServerRequest) error {
+	switch req.Operation {
+	case "fetch":
+		req.Out.WriteOctets(s.doc)
+		return nil
+	case "echo":
+		p, err := req.In().ReadOctets()
+		if err != nil {
+			return err
+		}
+		req.Out.WriteOctets(p)
+		return nil
+	default:
+		return orb.NewSystemException(orb.ExcBadOperation, 1, "no op %q", req.Operation)
+	}
+}
+
+// randomBytes yields incompressible data from a fixed LCG seed.
+func randomBytes(n int) []byte {
+	out := make([]byte, n)
+	seed := uint32(0x2545F491)
+	for i := range out {
+		seed = seed*1664525 + 1013904223
+		out[i] = byte(seed >> 24)
+	}
+	return out
+}
+
+// compressionWorld wires a document server over a shaped link.
+type compressionWorld struct {
+	net    *netsim.Network
+	server *orb.ORB
+	client *orb.ORB
+	ref    *ior.IOR
+	stub   *qos.Stub // unbound stub (plain path)
+	zip    *qos.Stub // compression-bound stub
+}
+
+func newCompressionWorld(doc []byte, link netsim.Link) (*compressionWorld, error) {
+	n := netsim.NewNetwork()
+	n.SetLink("client", "server", link)
+	server := orb.New(orb.Options{Transport: n.Host("server"), RequestTimeout: time.Minute})
+	if err := server.Listen("server:1"); err != nil {
+		return nil, err
+	}
+	st := transport.Install(server)
+	if err := compression.Setup(st, nil); err != nil {
+		return nil, err
+	}
+	skel := qos.NewServerSkeleton(&docServant{doc: doc})
+	if err := skel.AddQoS(compression.NewImpl(0)); err != nil {
+		return nil, err
+	}
+	ref, err := server.Adapter().ActivateQoS("doc", "IDL:x/Doc:1.0", skel,
+		ior.QoSInfo{Characteristics: []string{compression.Name}, Modules: []string{compression.ModuleName}})
+	if err != nil {
+		return nil, err
+	}
+	client := orb.New(orb.Options{Transport: n.Host("client"), RequestTimeout: time.Minute})
+	ct := transport.Install(client)
+	if err := compression.Setup(ct, nil); err != nil {
+		return nil, err
+	}
+	registry := qos.NewRegistry()
+	if err := compression.Register(registry); err != nil {
+		return nil, err
+	}
+	w := &compressionWorld{net: n, server: server, client: client, ref: ref}
+	w.stub = qos.NewStubWithRegistry(client, ref, registry)
+	w.zip = qos.NewStubWithRegistry(client, ref, registry)
+	if _, err := w.zip.Negotiate(context.Background(), &qos.Proposal{
+		Characteristic: compression.Name,
+		Params:         []qos.ParamProposal{{Name: compression.ParamLevel, Desired: qos.Number(6)}},
+	}); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *compressionWorld) close() {
+	w.client.Shutdown()
+	w.server.Shutdown()
+}
+
+func fetchOnce(stub *qos.Stub) (time.Duration, error) {
+	start := time.Now()
+	d, err := stub.Call(context.Background(), "fetch", nil)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := d.ReadOctets(); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// E5Compression sweeps link bandwidths for compressible and random 16 KiB
+// documents, reporting plain vs compressed latency and where compression
+// stops winning.
+func E5Compression() (*Table, error) {
+	t := &Table{
+		ID:     "E5",
+		Title:  "16 KiB fetch latency: plain vs compressed across link bandwidths",
+		Claim:  "§6: 'compression for channels with small bandwidth' — it wins below a crossover bandwidth and is moot above it",
+		Header: []string{"bandwidth", "payload", "plain", "compressed", "speedup"},
+	}
+	const size = 16 << 10
+	compressible := bytes.Repeat([]byte("quality of service for everyone "), size/32)
+	random := randomBytes(size)
+
+	for _, bw := range []int64{128_000, 512_000, 2_000_000, 8_000_000, 64_000_000} {
+		for _, payload := range []struct {
+			name string
+			doc  []byte
+		}{{"text (compressible)", compressible}, {"random", random}} {
+			w, err := newCompressionWorld(payload.doc, netsim.Link{BitsPerSec: bw, Latency: 2 * time.Millisecond})
+			if err != nil {
+				return nil, err
+			}
+			// Warm connections on both stubs.
+			if _, err := fetchOnce(w.stub); err != nil {
+				return nil, err
+			}
+			if _, err := fetchOnce(w.zip); err != nil {
+				return nil, err
+			}
+			plain, err := fetchOnce(w.stub)
+			if err != nil {
+				return nil, err
+			}
+			zipped, err := fetchOnce(w.zip)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d kbit/s", bw/1000),
+				payload.name,
+				fmtDur(plain),
+				fmtDur(zipped),
+				fmt.Sprintf("%.2fx", float64(plain)/float64(zipped)),
+			})
+			w.close()
+		}
+	}
+	t.Notes = append(t.Notes,
+		"compressible payloads gain most at low bandwidth; random payloads never gain (the module stores them) — the crossover is where speedup approaches 1x")
+	return t, nil
+}
+
+// E6Encryption measures the cost of AES-256-CTR + HMAC-SHA256 payload
+// protection against plaintext, by payload size, on a fast link.
+func E6Encryption() (*Table, error) {
+	n := netsim.NewNetwork()
+	server := orb.New(orb.Options{Transport: n.Host("server")})
+	if err := server.Listen("server:1"); err != nil {
+		return nil, err
+	}
+	defer server.Shutdown()
+	st := transport.Install(server)
+	if err := encryption.Setup(st, nil); err != nil {
+		return nil, err
+	}
+	skel := qos.NewServerSkeleton(&docServant{})
+	if err := skel.AddQoS(encryption.NewImpl(0)); err != nil {
+		return nil, err
+	}
+	ref, err := server.Adapter().ActivateQoS("doc", "IDL:x/Doc:1.0", skel,
+		ior.QoSInfo{Characteristics: []string{encryption.Name}, Modules: []string{encryption.ModuleName}})
+	if err != nil {
+		return nil, err
+	}
+	client := orb.New(orb.Options{Transport: n.Host("client")})
+	defer client.Shutdown()
+	ct := transport.Install(client)
+	if err := encryption.Setup(ct, nil); err != nil {
+		return nil, err
+	}
+	registry := qos.NewRegistry()
+	if err := encryption.Register(registry); err != nil {
+		return nil, err
+	}
+	plainStub := qos.NewStubWithRegistry(client, ref, registry)
+	secStub := qos.NewStubWithRegistry(client, ref, registry)
+	if _, err := secStub.Negotiate(context.Background(), &qos.Proposal{Characteristic: encryption.Name}); err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:     "E6",
+		Title:  "echo round trip: plaintext vs AES-256-CTR+HMAC, by payload size",
+		Claim:  "§6: 'privacy through encryption' as a negotiable characteristic; its cost grows with payload size",
+		Header: []string{"payload", "plaintext", "encrypted", "overhead", "enc throughput"},
+	}
+	const iters = 1000
+	for _, size := range []int{64, 1 << 10, 8 << 10, 64 << 10} {
+		e := cdr.NewEncoder(client.Order())
+		e.WriteOctets(randomBytes(size))
+		args := e.Bytes()
+		call := func(stub *qos.Stub) func() error {
+			return func() error {
+				d, err := stub.Call(context.Background(), "echo", args)
+				if err != nil {
+					return err
+				}
+				_, err = d.ReadOctets()
+				return err
+			}
+		}
+		plain, err := timeCalls(iters, call(plainStub))
+		if err != nil {
+			return nil, err
+		}
+		sec, err := timeCalls(iters, call(secStub))
+		if err != nil {
+			return nil, err
+		}
+		mbps := float64(2*size) / sec.Seconds() / (1 << 20)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d B", size),
+			fmtDur(plain),
+			fmtDur(sec),
+			fmt.Sprintf("%+.0f%%", 100*float64(sec-plain)/float64(plain)),
+			fmt.Sprintf("%.0f MiB/s", mbps),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"small payloads pay a fixed seal/open cost; large payloads approach the cipher+MAC streaming rate — linear in payload size, as expected")
+	return t, nil
+}

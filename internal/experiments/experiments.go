@@ -1,0 +1,112 @@
+// Package experiments regenerates the evaluation of the paper. The paper
+// itself reports no quantitative tables (its figures are architecture
+// diagrams), so each experiment here operationalises one of its claims —
+// see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+// recorded results. Every experiment returns a Table that cmd/maqs-bench
+// prints; the root bench_test.go measures the same paths as Go
+// benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	// ID is the experiment identifier (E1..E10).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Claim cites the paper statement the experiment checks.
+	Claim string
+	// Header names the columns.
+	Header []string
+	// Rows hold the measurements.
+	Rows [][]string
+	// Notes carry interpretation (the "shape" observed).
+	Notes []string
+}
+
+// Render formats the table for terminal output.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment pairs an identifier with its runner.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func() (*Table, error)
+}
+
+// All lists the experiments in order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "interception overhead", E1Interception},
+		{"E2", "ORB dispatch branches (Fig. 3)", E2Dispatch},
+		{"E3", "availability vs replica count", E3Replication},
+		{"E4", "load balancing strategies", E4LoadBalance},
+		{"E5", "compression vs bandwidth", E5Compression},
+		{"E6", "encryption overhead", E6Encryption},
+		{"E7", "actuality contracts", E7Actuality},
+		{"E8", "negotiation and adaptation", E8Negotiation},
+		{"E9", "weaving (QIDL mapping)", E9Weaving},
+		{"E10", "dynamic module control", E10ModuleControl},
+	}
+}
+
+// fmtDur renders a duration at µs resolution.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	}
+}
+
+// fmtPct renders a ratio as a percentage.
+func fmtPct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAllListsTenExperiments(t *testing.T) {
+	all := All()
+	if len(all) != 10 {
+		t.Fatalf("experiments = %d", len(all))
+	}
+	for i, e := range all {
+		want := "E" + strconv.Itoa(i+1)
+		if e.ID != want {
+			t.Errorf("experiment %d id = %s, want %s", i, e.ID, want)
+		}
+		if e.Run == nil || e.Name == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:     "EX",
+		Title:  "demo",
+		Claim:  "something holds",
+		Header: []string{"col", "value"},
+		Rows:   [][]string{{"a", "1"}, {"bee", "22"}},
+		Notes:  []string{"shape as expected"},
+	}
+	out := tab.Render()
+	for _, want := range []string{"== EX: demo ==", "claim:", "col", "bee  22", "note: shape"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if fmtDur(1500*time.Nanosecond) != "1.5µs" {
+		t.Errorf("fmtDur µs = %q", fmtDur(1500*time.Nanosecond))
+	}
+	if fmtDur(2500*time.Microsecond) != "2.50ms" {
+		t.Errorf("fmtDur ms = %q", fmtDur(2500*time.Microsecond))
+	}
+	if fmtDur(1200*time.Millisecond) != "1.20s" {
+		t.Errorf("fmtDur s = %q", fmtDur(1200*time.Millisecond))
+	}
+	if fmtPct(0.255) != "25.5%" {
+		t.Errorf("fmtPct = %q", fmtPct(0.255))
+	}
+}
+
+// TestE2DispatchRuns smoke-tests one full experiment (E2 is the cheapest
+// that exercises client, server, modules and commands together).
+func TestE2DispatchRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	tab, err := E2Dispatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+// TestE9WeavingRuns smoke-tests the weaver experiment (no network sweeps).
+func TestE9WeavingRuns(t *testing.T) {
+	tab, err := E9Weaving()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+// TestE10ModuleControlRuns smoke-tests the reflective control experiment.
+func TestE10ModuleControlRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	tab, err := E10ModuleControl()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}

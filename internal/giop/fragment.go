@@ -1,0 +1,143 @@
+package giop
+
+import (
+	"fmt"
+	"io"
+
+	"maqs/internal/cdr"
+)
+
+// MsgFragment continues a fragmented message (GIOP's mechanism for
+// bounding individual frames). The header flags octet carries the
+// "more fragments follow" bit alongside the byte-order bit.
+const MsgFragment MsgType = 7
+
+// flagMoreFragments marks a frame that is continued by a Fragment.
+const flagMoreFragments = 0x02
+
+// WriteMessageFragmented frames body like WriteMessage but splits it into
+// frames of at most maxFragment body octets: the first frame carries the
+// message type, subsequent frames are Fragment messages, and all but the
+// last set the more-fragments flag. maxFragment <= 0 disables splitting.
+func WriteMessageFragmented(w io.Writer, t MsgType, order cdr.ByteOrder, body []byte, maxFragment int) error {
+	if maxFragment <= 0 || len(body) <= maxFragment {
+		return WriteMessage(w, t, order, body)
+	}
+	offset := 0
+	first := true
+	for {
+		end := offset + maxFragment
+		more := end < len(body)
+		if !more {
+			end = len(body)
+		}
+		msgType := t
+		if !first {
+			msgType = MsgFragment
+		}
+		if err := writeFrame(w, msgType, order, body[offset:end], more); err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+		offset = end
+		first = false
+	}
+}
+
+// writeFrame writes one frame with the given more-fragments flag.
+func writeFrame(w io.Writer, t MsgType, order cdr.ByteOrder, body []byte, more bool) error {
+	if len(body) > MaxMessageSize {
+		return fmt.Errorf("giop: fragment body %d exceeds limit", len(body))
+	}
+	hdr := make([]byte, HeaderSize)
+	copy(hdr, Magic)
+	hdr[4] = VersionMajor
+	hdr[5] = VersionMinor
+	hdr[6] = byte(order) & 1
+	if more {
+		hdr[6] |= flagMoreFragments
+	}
+	hdr[7] = byte(t)
+	size := len(body)
+	if order == cdr.LittleEndian {
+		hdr[8], hdr[9], hdr[10], hdr[11] = byte(size), byte(size>>8), byte(size>>16), byte(size>>24)
+	} else {
+		hdr[8], hdr[9], hdr[10], hdr[11] = byte(size>>24), byte(size>>16), byte(size>>8), byte(size)
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("giop: writing fragment header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("giop: writing fragment body: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads one frame and reports the more-fragments flag.
+func readFrame(r io.Reader) (*Message, bool, error) {
+	hdr := make([]byte, HeaderSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, false, err
+	}
+	if string(hdr[:4]) != Magic {
+		return nil, false, fmt.Errorf("giop: bad magic %q", hdr[:4])
+	}
+	if hdr[4] != VersionMajor || hdr[5] != VersionMinor {
+		return nil, false, fmt.Errorf("giop: unsupported version %d.%d", hdr[4], hdr[5])
+	}
+	order := cdr.ByteOrder(hdr[6] & 1)
+	more := hdr[6]&flagMoreFragments != 0
+	t := MsgType(hdr[7])
+	var size uint32
+	if order == cdr.LittleEndian {
+		size = uint32(hdr[8]) | uint32(hdr[9])<<8 | uint32(hdr[10])<<16 | uint32(hdr[11])<<24
+	} else {
+		size = uint32(hdr[8])<<24 | uint32(hdr[9])<<16 | uint32(hdr[10])<<8 | uint32(hdr[11])
+	}
+	if size > MaxMessageSize {
+		return nil, false, fmt.Errorf("giop: message body %d exceeds limit", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, false, fmt.Errorf("giop: reading body: %w", err)
+	}
+	return &Message{Type: t, Order: order, Body: body}, more, nil
+}
+
+// ReadMessageReassembled reads one logical message, transparently
+// reassembling fragmented frames. Non-fragmented streams behave exactly
+// like ReadMessage.
+func ReadMessageReassembled(r io.Reader) (*Message, error) {
+	msg, more, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	if !more {
+		if msg.Type == MsgFragment {
+			return nil, fmt.Errorf("giop: fragment without a preceding message")
+		}
+		return msg, nil
+	}
+	total := len(msg.Body)
+	for more {
+		frag, m, err := readFrame(r)
+		if err != nil {
+			return nil, fmt.Errorf("giop: reading continuation fragment: %w", err)
+		}
+		if frag.Type != MsgFragment {
+			return nil, fmt.Errorf("giop: expected Fragment, found %v", frag.Type)
+		}
+		if frag.Order != msg.Order {
+			return nil, fmt.Errorf("giop: fragment byte order changed mid-message")
+		}
+		total += len(frag.Body)
+		if total > MaxMessageSize {
+			return nil, fmt.Errorf("giop: reassembled message %d exceeds limit", total)
+		}
+		msg.Body = append(msg.Body, frag.Body...)
+		more = m
+	}
+	return msg, nil
+}

@@ -1,0 +1,97 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAttributes(t *testing.T) {
+	src := `
+module m {
+  struct P { long x; };
+  interface Sensor {
+    readonly attribute double temperature;
+    attribute string label, unit;
+    attribute P point;
+    void reset();
+  };
+};
+`
+	spec, err := Parse("attrs.qidl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := Check(spec); len(errs) != 0 {
+		t.Fatalf("check errors: %v", errs)
+	}
+	iface, _ := spec.Interface("Sensor")
+	if len(iface.Attributes) != 4 {
+		t.Fatalf("attributes = %d", len(iface.Attributes))
+	}
+	temp := iface.Attributes[0]
+	if !temp.ReadOnly || temp.Name != "temperature" || temp.Type.Kind != TypeDouble {
+		t.Fatalf("attribute = %+v", temp)
+	}
+	if iface.Attributes[1].Name != "label" || iface.Attributes[2].Name != "unit" {
+		t.Fatalf("multi-declarator attributes = %+v", iface.Attributes[1:3])
+	}
+	if iface.Attributes[1].ReadOnly {
+		t.Fatal("writable attribute marked readonly")
+	}
+
+	// Expansion: readonly → getter only; writable → getter + setter.
+	ops := temp.Ops()
+	if len(ops) != 1 || ops[0].Name != "_get_temperature" || ops[0].Result.Kind != TypeDouble {
+		t.Fatalf("readonly ops = %+v", ops)
+	}
+	ops = iface.Attributes[1].Ops()
+	if len(ops) != 2 || ops[1].Name != "_set_label" || len(ops[1].Params) != 1 {
+		t.Fatalf("writable ops = %+v", ops)
+	}
+
+	// AllOps: 4 attributes → 1+2+2+2 accessors, plus reset.
+	all := iface.AllOps()
+	if len(all) != 8 {
+		t.Fatalf("all ops = %d: %+v", len(all), all)
+	}
+	if all[len(all)-1].Name != "reset" {
+		t.Fatalf("declared op position = %+v", all[len(all)-1])
+	}
+}
+
+func TestAttributeCheckerErrors(t *testing.T) {
+	cases := map[string]string{
+		`interface I { attribute Unknown a; };`:                                       "unknown type",
+		`interface I { attribute long a; attribute long a; };`:                        "duplicate attribute",
+		`interface I { attribute long a; void _get_a(); };`:                           "duplicate operation",
+		`interface B { attribute long a; }; interface I : B { attribute double a; };`: "collides",
+	}
+	for src, wantSub := range cases {
+		spec, err := Parse("t.qidl", src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		errs := Check(spec)
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e.Error(), wantSub) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Check(%q) errors %v lack %q", src, errs, wantSub)
+		}
+	}
+}
+
+func TestAttributeParseErrors(t *testing.T) {
+	for src, wantSub := range map[string]string{
+		`interface I { readonly long a; };`:    `expected "attribute"`,
+		`interface I { attribute long; };`:     "expected identifier",
+		`interface I { attribute long a b; };`: "expected",
+	} {
+		if _, err := Parse("t.qidl", src); err == nil || !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("Parse(%q) err = %v, want %q", src, err, wantSub)
+		}
+	}
+}

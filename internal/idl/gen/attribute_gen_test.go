@@ -1,0 +1,61 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateAttributes(t *testing.T) {
+	src := generate(t, `
+module sensor {
+  interface Probe {
+    readonly attribute double temperature;
+    attribute string label;
+    void reset();
+  };
+};
+`, Options{})
+	for _, want := range []string{
+		// Servant interface: getter and setter methods.
+		"GetTemperature() (float64, error)",
+		"GetLabel() (string, error)",
+		"SetLabel(value string) error",
+		"Reset() error",
+		// Stub methods with ctx.
+		"func (c *ProbeStub) GetTemperature(ctx context.Context) (float64, error)",
+		"func (c *ProbeStub) SetLabel(ctx context.Context, value string) error",
+		// Skeleton dispatch on the wire names.
+		`case "_get_temperature":`,
+		`case "_set_label":`,
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source lacks %q", want)
+		}
+	}
+	// Read-only attribute has no setter anywhere.
+	if strings.Contains(src, "SetTemperature") {
+		t.Error("setter generated for readonly attribute")
+	}
+}
+
+func TestGenerateInheritedAttributes(t *testing.T) {
+	src := generate(t, `
+module m {
+  interface Base { attribute long counter; };
+  interface Child : Base { void bump(); };
+};
+`, Options{})
+	// The child's skeleton must dispatch the inherited accessors.
+	idx := strings.Index(src, "func (s *ChildSkeleton) Invoke")
+	if idx < 0 {
+		t.Fatal("child skeleton missing")
+	}
+	tail := src[idx:]
+	end := strings.Index(tail, "\n}")
+	body := tail[:end]
+	for _, want := range []string{`case "_get_counter":`, `case "_set_counter":`, `case "bump":`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("child skeleton lacks %q", want)
+		}
+	}
+}

@@ -1,0 +1,464 @@
+package gen
+
+import (
+	"fmt"
+	"strings"
+
+	"maqs/internal/idl"
+)
+
+// inParams lists the parameters a caller sends (in and inout).
+func inParams(op idl.Operation) []idl.Param {
+	var out []idl.Param
+	for _, p := range op.Params {
+		if p.Dir == idl.DirIn || p.Dir == idl.DirInOut {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// outTypes lists the values an operation returns (result, then out and
+// inout parameters in declaration order).
+func outTypes(op idl.Operation) []*idl.Type {
+	var out []*idl.Type
+	if op.Result.Kind != idl.TypeVoid {
+		out = append(out, op.Result)
+	}
+	for _, p := range op.Params {
+		if p.Dir == idl.DirOut || p.Dir == idl.DirInOut {
+			out = append(out, p.Type)
+		}
+	}
+	return out
+}
+
+// sigParams renders the Go parameter list of the in parameters.
+func (g *generator) sigParams(op idl.Operation) string {
+	var parts []string
+	for _, p := range inParams(op) {
+		parts = append(parts, fmt.Sprintf("%s %s", lowerName(p.Name), g.goType(p.Type)))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// sigResults renders the Go result list including the trailing error.
+func (g *generator) sigResults(op idl.Operation) string {
+	var parts []string
+	for _, t := range outTypes(op) {
+		parts = append(parts, g.goType(t))
+	}
+	parts = append(parts, "error")
+	if len(parts) == 1 {
+		return "error"
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// zeroReturns renders the zero values preceding an error return.
+func (g *generator) zeroReturns(op idl.Operation) string {
+	var parts []string
+	for _, t := range outTypes(op) {
+		parts = append(parts, g.zeroOf(t))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// lowerName renders an unexported Go identifier for a parameter.
+func lowerName(s string) string {
+	n := goName(s)
+	out := strings.ToLower(n[:1]) + n[1:]
+	switch out {
+	case "type", "func", "range", "map", "var", "chan", "go", "select", "defer", "return", "interface", "struct", "package", "import", "const":
+		return out + "_"
+	}
+	return out
+}
+
+// handlerSig renders a QoS handler method signature (binding first).
+func (g *generator) handlerSig(op idl.Operation) string {
+	params := g.sigParams(op)
+	if params != "" {
+		params = ", " + params
+	}
+	return fmt.Sprintf("%s(b *qos.Binding%s) %s", goName(op.Name), params, g.sigResults(op))
+}
+
+// servantSig renders an application servant method signature.
+func (g *generator) servantSig(op idl.Operation) string {
+	return fmt.Sprintf("%s(%s) %s", goName(op.Name), g.sigParams(op), g.sigResults(op))
+}
+
+// genServerOpBody emits the dispatch body of one operation: decode the in
+// parameters, call callExpr (with extraArgs prefix), map errors, encode
+// the results. The surrounding switch-case supplies req (with In/Out).
+func (g *generator) genServerOpBody(op idl.Operation, callExpr, extraArgs string) {
+	g.use("maqs/internal/orb")
+	ins := inParams(op)
+	outs := outTypes(op)
+	if len(ins) > 0 {
+		g.p("d := req.In()")
+	}
+	var args []string
+	for i, p := range ins {
+		v := fmt.Sprintf("a%d", i)
+		g.p("%s, err := %s", v, g.readCall(p.Type))
+		g.p("if err != nil {")
+		g.in()
+		g.p(`return orb.NewSystemException(orb.ExcMarshal, 1, "%s argument %s: %%v", err)`, op.Name, p.Name)
+		g.out()
+		g.p("}")
+		args = append(args, v)
+	}
+	call := fmt.Sprintf("%s(%s%s)", callExpr, extraArgs, strings.Join(args, ", "))
+	if len(outs) == 0 {
+		g.p("if err := %s; err != nil {", call)
+		g.in()
+		g.p("return %s", g.serverErrExpr())
+		g.out()
+		g.p("}")
+		g.p("return nil")
+		return
+	}
+	var results []string
+	for i := range outs {
+		results = append(results, fmt.Sprintf("r%d", i))
+	}
+	g.p("%s, err2 := %s", strings.Join(results, ", "), call)
+	g.p("if err2 != nil {")
+	g.in()
+	g.p("return %s", strings.Replace(g.serverErrExpr(), "err", "err2", 1))
+	g.out()
+	g.p("}")
+	g.p("e := req.Out")
+	for i, t := range outs {
+		g.p("%s", g.writeCall(t, fmt.Sprintf("r%d", i)))
+	}
+	g.p("return nil")
+}
+
+func (g *generator) serverErrExpr() string {
+	if g.hasExceptions() {
+		g.markErrHelpers()
+		return "mapServerError(err)"
+	}
+	return "err"
+}
+
+func (g *generator) clientErrExpr() string {
+	if g.hasExceptions() {
+		g.markErrHelpers()
+		return "mapClientError(err)"
+	}
+	return "err"
+}
+
+func (g *generator) hasExceptions() bool {
+	for _, m := range g.spec.Modules {
+		if len(m.Exceptions) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *generator) markErrHelpers() { g.needsErrHelpers = true }
+
+// genErrHelpers emits the module-wide exception mapping used by stubs and
+// skeletons.
+func (g *generator) genErrHelpers() {
+	if !g.needsErrHelpers {
+		return
+	}
+	g.use("errors")
+	g.use("maqs/internal/orb")
+	g.p("// wireException is implemented by every generated exception type.")
+	g.p("type wireException interface {")
+	g.in()
+	g.p("error")
+	g.p("ToUserException() *orb.UserException")
+	g.out()
+	g.p("}")
+	g.p("")
+	g.p("// mapServerError converts generated exceptions to their wire form.")
+	g.p("func mapServerError(err error) error {")
+	g.in()
+	g.p("var w wireException")
+	g.p("if errors.As(err, &w) {")
+	g.in()
+	g.p("return w.ToUserException()")
+	g.out()
+	g.p("}")
+	g.p("return err")
+	g.out()
+	g.p("}")
+	g.p("")
+	g.p("// mapClientError converts wire-level user exceptions back to their")
+	g.p("// generated types.")
+	g.p("func mapClientError(err error) error {")
+	g.in()
+	g.p("var u *orb.UserException")
+	g.p("if !errors.As(err, &u) {")
+	g.in()
+	g.p("return err")
+	g.out()
+	g.p("}")
+	g.p("switch u.RepoID {")
+	for _, m := range g.spec.Modules {
+		for _, exc := range m.Exceptions {
+			name := goName(exc.Name)
+			g.p("case %sRepoID:", name)
+			g.in()
+			g.p("if exc, derr := %sFromUserException(u); derr == nil {", name)
+			g.in()
+			g.p("return exc")
+			g.out()
+			g.p("}")
+			g.out()
+		}
+	}
+	g.p("}")
+	g.p("return err")
+	g.out()
+	g.p("}")
+	g.p("")
+}
+
+// genStubMethod emits one typed client-side call through a *qos.Stub held
+// in field Stub (receiver c) or field qs for interface stubs.
+func (g *generator) genStubMethod(recv, stubExpr string, op idl.Operation, ptrRecv bool) {
+	g.use("context")
+	ins := inParams(op)
+	outs := outTypes(op)
+	if len(ins) > 0 {
+		g.use("maqs/internal/cdr")
+	}
+	if len(outs) > 0 {
+		g.use("maqs/internal/orb")
+	}
+	star := ""
+	if ptrRecv {
+		star = "*"
+	}
+	params := g.sigParams(op)
+	if params != "" {
+		params = ", " + params
+	}
+	g.p("// %s invokes operation %q.", goName(op.Name), op.Name)
+	g.p("func (c %s%s) %s(ctx context.Context%s) %s {", star, recv, goName(op.Name), params, g.sigResults(op))
+	g.in()
+	argsExpr := "nil"
+	if len(ins) > 0 {
+		g.p("e := cdr.NewEncoder(%s.ORB().Order())", stubExpr)
+		for _, p := range ins {
+			g.p("%s", g.writeCall(p.Type, lowerName(p.Name)))
+		}
+		argsExpr = "e.Bytes()"
+	}
+	zeros := g.zeroReturns(op)
+	if zeros != "" {
+		zeros += ", "
+	}
+	if op.OneWay {
+		g.p("return %s.CallOneWay(ctx, %q, %s)", stubExpr, op.Name, argsExpr)
+		g.out()
+		g.p("}")
+		g.p("")
+		return
+	}
+	if len(outs) == 0 {
+		g.p("_, err := %s.Call(ctx, %q, %s)", stubExpr, op.Name, argsExpr)
+		g.p("if err != nil {")
+		g.in()
+		g.p("return %s", g.clientErrExpr())
+		g.out()
+		g.p("}")
+		g.p("return nil")
+		g.out()
+		g.p("}")
+		g.p("")
+		return
+	}
+	g.p("d, err := %s.Call(ctx, %q, %s)", stubExpr, op.Name, argsExpr)
+	g.p("if err != nil {")
+	g.in()
+	g.p("return %s%s", zeros, g.clientErrExpr())
+	g.out()
+	g.p("}")
+	var results []string
+	for i, t := range outs {
+		v := fmt.Sprintf("r%d", i)
+		g.p("%s, err := %s", v, g.readCall(t))
+		g.p("if err != nil {")
+		g.in()
+		g.p(`return %sorb.NewSystemException(orb.ExcMarshal, 2, "%s result: %%v", err)`, zeros, op.Name)
+		g.out()
+		g.p("}")
+		results = append(results, v)
+	}
+	g.p("return %s, nil", strings.Join(results, ", "))
+	g.out()
+	g.p("}")
+	g.p("")
+}
+
+// allOps collects an interface's operations including inherited ones
+// (bases first, depth-first).
+func (g *generator) allOps(d *idl.InterfaceDecl) []idl.Operation {
+	var out []idl.Operation
+	seen := map[string]bool{}
+	var walk func(x *idl.InterfaceDecl)
+	walk = func(x *idl.InterfaceDecl) {
+		for _, base := range x.Bases {
+			if bd, _ := g.spec.Interface(base); bd != nil {
+				walk(bd)
+			}
+		}
+		for _, op := range x.AllOps() {
+			if !seen[op.Name] {
+				seen[op.Name] = true
+				out = append(out, op)
+			}
+		}
+	}
+	walk(d)
+	return out
+}
+
+// genInterface emits servant interface, skeleton, stub and QoS wiring of
+// one QIDL interface.
+func (g *generator) genInterface(m *idl.Module, d *idl.InterfaceDecl) {
+	g.use("maqs/internal/orb")
+	name := goName(d.Name)
+
+	g.p("// %sRepoID identifies interface %s on the wire.", name, d.Name)
+	g.p("const %sRepoID = %q", name, repoID(m, d.Name))
+	g.p("")
+
+	// Servant interface.
+	g.p("// %s is implemented by the application servant (QIDL interface", name)
+	g.p("// %s). QoS behaviour never appears here: the separation of", d.Name)
+	g.p("// concerns keeps application code free of QoS mechanics.")
+	g.p("type %s interface {", name)
+	g.in()
+	for _, base := range d.Bases {
+		g.p("%s", goName(base))
+	}
+	for _, op := range d.AllOps() {
+		g.p("%s", g.servantSig(op))
+	}
+	g.out()
+	g.p("}")
+	g.p("")
+
+	// Skeleton.
+	g.p("// %sSkeleton is the generated server skeleton: it dispatches", name)
+	g.p("// incoming requests to a %s implementation.", name)
+	g.p("type %sSkeleton struct {", name)
+	g.in()
+	g.p("// Impl is the application servant.")
+	g.p("Impl %s", name)
+	g.out()
+	g.p("}")
+	g.p("")
+	g.p("var _ orb.Servant = (*%sSkeleton)(nil)", name)
+	g.p("")
+	g.p("// Invoke implements orb.Servant.")
+	g.p("func (s *%sSkeleton) Invoke(req *orb.ServerRequest) error {", name)
+	g.in()
+	g.p("switch req.Operation {")
+	for _, op := range g.allOps(d) {
+		g.p("case %q:", op.Name)
+		g.in()
+		g.genServerOpBody(op, "s.Impl."+goName(op.Name), "")
+		g.out()
+	}
+	g.p("default:")
+	g.in()
+	g.p(`return orb.NewSystemException(orb.ExcBadOperation, 1, "interface %s has no operation %%q", req.Operation)`, d.Name)
+	g.out()
+	g.p("}")
+	g.out()
+	g.p("}")
+	g.p("")
+
+	// Stub.
+	g.use("maqs/internal/ior")
+	g.use("maqs/internal/qos")
+	g.p("// %sStub is the woven client stub of %s: every call is", name, d.Name)
+	g.p("// intercepted and delegated to the mediator of the bound QoS")
+	g.p("// characteristic before it reaches the ORB (paper §3.3).")
+	g.p("type %sStub struct {", name)
+	g.in()
+	g.p("qs *qos.Stub")
+	g.out()
+	g.p("}")
+	g.p("")
+	g.p("// New%sStub wraps a reference using the default QoS registry.", name)
+	g.p("func New%sStub(o *orb.ORB, ref *ior.IOR) *%sStub {", name, name)
+	g.in()
+	g.p("return &%sStub{qs: qos.NewStub(o, ref)}", name)
+	g.out()
+	g.p("}")
+	g.p("")
+	g.p("// New%sStubWithRegistry wraps a reference with an explicit registry.", name)
+	g.p("func New%sStubWithRegistry(o *orb.ORB, ref *ior.IOR, r *qos.Registry) *%sStub {", name, name)
+	g.in()
+	g.p("return &%sStub{qs: qos.NewStubWithRegistry(o, ref, r)}", name)
+	g.out()
+	g.p("}")
+	g.p("")
+	g.p("// QoS exposes the QoS-level stub (negotiation, monitoring, binding).")
+	g.p("func (c *%sStub) QoS() *qos.Stub {", name)
+	g.in()
+	g.p("return c.qs")
+	g.out()
+	g.p("}")
+	g.p("")
+	for _, op := range g.allOps(d) {
+		g.genStubMethod(name+"Stub", "c.qs", op, true)
+	}
+
+	// QoS wiring for supports clauses.
+	if len(d.Supports) > 0 {
+		var names []string
+		for _, q := range d.Supports {
+			names = append(names, goName(q)+"Name")
+		}
+		g.p("// %sSupports lists the QoS characteristics assigned to %s in", name, d.Name)
+		g.p("// QIDL (QoS is assigned to interfaces only, paper §3.2).")
+		g.p("func %sSupports() []string {", name)
+		g.in()
+		g.p("return []string{%s}", strings.Join(names, ", "))
+		g.out()
+		g.p("}")
+		g.p("")
+		g.p("// New%sServerSkeleton wraps an implementation in the QoS server", name)
+		g.p("// skeleton with the given characteristic implementations attached")
+		g.p("// (the woven form of Fig. 2).")
+		g.p("func New%sServerSkeleton(impl %s, qosImpls ...qos.Impl) (*qos.ServerSkeleton, error) {", name, name)
+		g.in()
+		g.p("skel := qos.NewServerSkeleton(&%sSkeleton{Impl: impl})", name)
+		g.p("for _, qi := range qosImpls {")
+		g.in()
+		g.p("if err := skel.AddQoS(qi); err != nil {")
+		g.in()
+		g.p("return nil, err")
+		g.out()
+		g.p("}")
+		g.out()
+		g.p("}")
+		g.p("return skel, nil")
+		g.out()
+		g.p("}")
+		g.p("")
+		g.p("// %sQoSInfo builds the IOR component advertising the supported", name)
+		g.p("// characteristics (and optionally the transport modules).")
+		g.p("func %sQoSInfo(modules ...string) ior.QoSInfo {", name)
+		g.in()
+		g.p("return ior.QoSInfo{Characteristics: %sSupports(), Modules: modules}", name)
+		g.out()
+		g.p("}")
+		g.p("")
+	}
+}

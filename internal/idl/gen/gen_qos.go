@@ -1,0 +1,261 @@
+package gen
+
+import (
+	"fmt"
+	"strings"
+
+	"maqs/internal/idl"
+)
+
+// valueKind maps a QIDL parameter type to the qos.Value kind expression.
+func valueKind(t *idl.Type) string {
+	switch t.Kind {
+	case idl.TypeString:
+		return "qos.KindString"
+	case idl.TypeBoolean:
+		return "qos.KindBool"
+	default:
+		return "qos.KindNumber"
+	}
+}
+
+// defaultExpr renders a QoS parameter default as a qos.Value expression.
+func defaultExpr(p idl.QoSParam) string {
+	if !p.HasDef {
+		return "qos.Value{}"
+	}
+	switch p.Type.Kind {
+	case idl.TypeString:
+		return fmt.Sprintf("qos.Text(%q)", p.Default)
+	case idl.TypeBoolean:
+		return fmt.Sprintf("qos.Flag(%s)", p.Default)
+	default:
+		return fmt.Sprintf("qos.Number(%s)", p.Default)
+	}
+}
+
+// paramAccessor renders the typed accessor body for one QoS parameter.
+func (g *generator) paramAccessor(name string, p idl.QoSParam) (goType, body string) {
+	def := p.Default
+	switch p.Type.Kind {
+	case idl.TypeString:
+		if !p.HasDef {
+			def = ""
+		}
+		return "string", fmt.Sprintf("return p.Contract.Text(%q, %q)", p.Name, def)
+	case idl.TypeBoolean:
+		if !p.HasDef {
+			def = "false"
+		}
+		return "bool", fmt.Sprintf("return p.Contract.Flag(%q, %s)", p.Name, def)
+	default:
+		if !p.HasDef {
+			def = "0"
+		}
+		gt := g.goType(p.Type)
+		if gt == "float64" {
+			return gt, fmt.Sprintf("return p.Contract.Number(%q, %s)", p.Name, def)
+		}
+		return gt, fmt.Sprintf("return %s(p.Contract.Number(%q, %s))", gt, p.Name, def)
+	}
+}
+
+// genQoS emits the woven artefacts of one QoS characteristic.
+func (g *generator) genQoS(m *idl.Module, d *idl.QoSDecl) {
+	g.use("maqs/internal/qos")
+	name := goName(d.Name)
+
+	g.p("// %sName names the %s QoS characteristic.", name, d.Name)
+	g.p("const %sName = %q", name, d.Name)
+	g.p("")
+
+	// Descriptor.
+	g.p("// %sDescriptor returns the runtime description woven from the", name)
+	g.p("// QIDL qos declaration (parameters and QoS responsibility operations).")
+	g.p("func %sDescriptor() *qos.Characteristic {", name)
+	g.in()
+	g.p("return &qos.Characteristic{")
+	g.in()
+	g.p("Name:     %sName,", name)
+	if d.Category != "" {
+		g.p("Category: qos.Category(%q),", d.Category)
+	}
+	g.p("Params: []qos.ParameterDecl{")
+	g.in()
+	for _, p := range d.Params {
+		g.p("{Name: %q, Kind: %s, Default: %s},", p.Name, valueKind(p.Type), defaultExpr(p))
+	}
+	g.out()
+	g.p("},")
+	if len(d.Ops) > 0 {
+		ops := make([]string, 0, len(d.Ops))
+		for _, op := range d.Ops {
+			ops = append(ops, fmt.Sprintf("%q", op.Name))
+		}
+		g.p("Operations: []string{%s},", strings.Join(ops, ", "))
+	}
+	g.out()
+	g.p("}")
+	g.out()
+	g.p("}")
+	g.p("")
+
+	// Offer template.
+	g.p("// %sOfferTemplate builds a permissive offer for the characteristic:", name)
+	g.p("// numeric parameters range over [0, 1e9], string parameters admit only")
+	g.p("// their default. Server implementations narrow it to actual capacity.")
+	g.p("func %sOfferTemplate() *qos.Offer {", name)
+	g.in()
+	g.p("return &qos.Offer{")
+	g.in()
+	g.p("Characteristic: %sName,", name)
+	g.p("Params: []qos.ParamOffer{")
+	g.in()
+	for _, p := range d.Params {
+		switch p.Type.Kind {
+		case idl.TypeString:
+			choice := p.Default
+			g.p("{Name: %q, Kind: qos.KindString, Choices: []string{%q}, Default: %s},",
+				p.Name, choice, defaultExpr(p))
+		case idl.TypeBoolean:
+			g.p("{Name: %q, Kind: qos.KindBool, Default: %s},", p.Name, defaultExpr(p))
+		default:
+			g.p("{Name: %q, Kind: qos.KindNumber, Min: 0, Max: 1e9, Default: %s},", p.Name, defaultExpr(p))
+		}
+	}
+	g.out()
+	g.p("},")
+	g.out()
+	g.p("}")
+	g.out()
+	g.p("}")
+	g.p("")
+
+	// Typed parameter accessors.
+	if len(d.Params) > 0 {
+		g.p("// %sParams gives typed access to the negotiated values of %s.", name, d.Name)
+		g.p("type %sParams struct {", name)
+		g.in()
+		g.p("Contract *qos.Contract")
+		g.out()
+		g.p("}")
+		g.p("")
+		for _, p := range d.Params {
+			gt, body := g.paramAccessor(name, p)
+			g.p("// %s returns the agreed %q parameter.", goName(p.Name), p.Name)
+			g.p("func (p %sParams) %s() %s {", name, goName(p.Name), gt)
+			g.in()
+			g.p("%s", body)
+			g.out()
+			g.p("}")
+			g.p("")
+		}
+	}
+
+	// Handler interface + impl base with dispatch.
+	if len(d.Ops) > 0 {
+		g.use("maqs/internal/orb")
+		g.p("// %sHandler implements the QoS responsibility operations of %s", name, d.Name)
+		g.p("// (mechanism management, QoS-to-QoS communication, aspect integration).")
+		g.p("type %sHandler interface {", name)
+		g.in()
+		for _, op := range d.Ops {
+			g.p("%s", g.handlerSig(op))
+		}
+		g.out()
+		g.p("}")
+		g.p("")
+	}
+
+	g.p("// %sImplBase is the generated server-side QoS skeleton of %s:", name, d.Name)
+	g.p("// embed it in the QoS implementation and it dispatches the declared")
+	g.p("// QoS operations; only requests of bindings that negotiated this")
+	g.p("// characteristic ever reach it (paper Fig. 2).")
+	g.p("type %sImplBase struct {", name)
+	g.in()
+	g.p("qos.BaseImpl")
+	if len(d.Ops) > 0 {
+		g.p("// Handler serves the characteristic's operations.")
+		g.p("Handler %sHandler", name)
+	}
+	g.out()
+	g.p("}")
+	g.p("")
+	g.p("// New%sImplBase builds the skeleton with the woven descriptor.", name)
+	if len(d.Ops) > 0 {
+		g.p("func New%sImplBase(offer *qos.Offer, h %sHandler) *%sImplBase {", name, name, name)
+	} else {
+		g.p("func New%sImplBase(offer *qos.Offer) *%sImplBase {", name, name)
+	}
+	g.in()
+	g.p("b := &%sImplBase{}", name)
+	if len(d.Ops) > 0 {
+		g.p("b.Handler = h")
+	}
+	g.p("b.Desc = %sDescriptor()", name)
+	g.p("if offer == nil {")
+	g.in()
+	g.p("offer = %sOfferTemplate()", name)
+	g.out()
+	g.p("}")
+	g.p("b.Capability = offer")
+	g.p("return b")
+	g.out()
+	g.p("}")
+	g.p("")
+
+	if len(d.Ops) > 0 {
+		g.p("// QoSOperation dispatches the QoS responsibility operations of %s.", d.Name)
+		g.p("func (x *%sImplBase) QoSOperation(req *orb.ServerRequest, b *qos.Binding) error {", name)
+		g.in()
+		g.p("switch req.Operation {")
+		for _, op := range d.Ops {
+			g.p("case %q:", op.Name)
+			g.in()
+			g.genServerOpBody(op, fmt.Sprintf("x.Handler.%s", goName(op.Name)), "b, ")
+			g.out()
+		}
+		g.p("default:")
+		g.in()
+		g.p(`return orb.NewSystemException(orb.ExcBadOperation, 1, "characteristic %s has no operation %%q", req.Operation)`, d.Name)
+		g.out()
+		g.p("}")
+		g.out()
+		g.p("}")
+		g.p("")
+	}
+
+	// Mediator skeleton.
+	g.p("// %sMediatorBase is the generated mediator skeleton of %s: the", name, d.Name)
+	g.p("// client-side QoS implementor embeds it and overrides the Mediator")
+	g.p("// methods it needs (paper §3.3, client side).")
+	g.p("type %sMediatorBase struct {", name)
+	g.in()
+	g.p("qos.BaseMediator")
+	g.out()
+	g.p("}")
+	g.p("")
+	g.p("// New%sMediatorBase seeds the skeleton with the characteristic name.", name)
+	g.p("func New%sMediatorBase() %sMediatorBase {", name, name)
+	g.in()
+	g.p("return %sMediatorBase{BaseMediator: qos.BaseMediator{Char: %sName}}", name, name)
+	g.out()
+	g.p("}")
+	g.p("")
+
+	// Typed client-side calls for the QoS operations (QoS-to-QoS).
+	if len(d.Ops) > 0 {
+		g.use("context")
+		g.p("// %sCalls invokes the QoS operations of %s through a bound stub", name, d.Name)
+		g.p("// (the QoS-to-QoS communication path of the characteristic).")
+		g.p("type %sCalls struct {", name)
+		g.in()
+		g.p("Stub *qos.Stub")
+		g.out()
+		g.p("}")
+		g.p("")
+		for _, op := range d.Ops {
+			g.genStubMethod(fmt.Sprintf("%sCalls", name), "c.Stub", op, false)
+		}
+	}
+}

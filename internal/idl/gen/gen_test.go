@@ -1,0 +1,240 @@
+package gen
+
+import (
+	"go/format"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"maqs/internal/idl"
+)
+
+const bankQIDL = `
+module bank {
+  struct Entry {
+    string label;
+    double amount;
+    unsigned long long at;
+  };
+
+  enum Currency { EUR, USD, GBP };
+
+  exception Overdrawn {
+    double balance;
+    double requested;
+  };
+
+  qos Availability {
+    category "fault-tolerance";
+    param unsigned short replicas = 2;
+    param string strategy = "active";
+    param boolean voting = false;
+
+    void repl_sync(in string member);
+  };
+
+  qos Compression {
+    param long level = 6;
+  };
+
+  interface Account supports Availability, Compression {
+    void deposit(in double amount);
+    double withdraw(in double amount) raises (Overdrawn);
+    double balance();
+    sequence<Entry> history(in unsigned long limit);
+    oneway void note(in string message);
+    long convert(in long cents, in Currency from, in Currency to);
+  };
+};
+`
+
+// generate parses, generates and syntax-checks; it returns the source.
+func generate(t *testing.T, src string, opts Options) string {
+	t.Helper()
+	spec, err := idl.Parse("test.qidl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Generate(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	if _, perr := parser.ParseFile(fset, "gen.go", code, parser.AllErrors); perr != nil {
+		t.Fatalf("generated code does not parse: %v\n----\n%s", perr, code)
+	}
+	if _, ferr := format.Source(code); ferr != nil {
+		t.Fatalf("generated code does not format: %v", ferr)
+	}
+	return string(code)
+}
+
+func TestGenerateBankParses(t *testing.T) {
+	src := generate(t, bankQIDL, Options{Source: "bank.qidl"})
+	for _, want := range []string{
+		"package bank",
+		"type Entry struct",
+		"func UnmarshalEntry(d *cdr.Decoder) (Entry, error)",
+		"type Currency uint32",
+		"CurrencyEUR Currency = iota",
+		`const OverdrawnRepoID = "IDL:bank/Overdrawn:1.0"`,
+		"func (v *Overdrawn) ToUserException() *orb.UserException",
+		`const AvailabilityName = "Availability"`,
+		"func AvailabilityDescriptor() *qos.Characteristic",
+		"type AvailabilityParams struct",
+		"func (p AvailabilityParams) Replicas() uint16",
+		"type AvailabilityHandler interface",
+		"ReplSync(b *qos.Binding, member string) error",
+		"type AvailabilityImplBase struct",
+		"func (x *AvailabilityImplBase) QoSOperation(req *orb.ServerRequest, b *qos.Binding) error",
+		"type AvailabilityMediatorBase struct",
+		"type AccountStub struct",
+		"func (c *AccountStub) Withdraw(ctx context.Context, amount float64) (float64, error)",
+		"func (c *AccountStub) Note(ctx context.Context, message string) error",
+		"func (c *AccountStub) History(ctx context.Context, limit uint32) ([]Entry, error)",
+		"type AccountSkeleton struct",
+		"var _ orb.Servant = (*AccountSkeleton)(nil)",
+		"func AccountSupports() []string",
+		"func NewAccountServerSkeleton(impl Account, qosImpls ...qos.Impl) (*qos.ServerSkeleton, error)",
+		"func mapClientError(err error) error",
+		"func marshalSeqEntry(e *cdr.Encoder, v []Entry)",
+		`case "withdraw":`,
+		"return mapServerError(err)",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source lacks %q", want)
+		}
+	}
+	// Mediator delegation happens through qos.Stub.Call — the stub type
+	// must hold a *qos.Stub, never a bare orb reference.
+	if !strings.Contains(src, "qs *qos.Stub") {
+		t.Error("stub not built over qos.Stub (mediator seam missing)")
+	}
+}
+
+func TestGenerateInheritance(t *testing.T) {
+	src := generate(t, `
+module shop {
+  interface Base { void ping(); };
+  interface Child : Base { void pong(); };
+};
+`, Options{})
+	if !strings.Contains(src, "type Child interface {\n\tBase\n\tPong() error\n}") {
+		t.Errorf("inherited interface not embedded:\n%s", src)
+	}
+	// The skeleton dispatches inherited operations too.
+	idx := strings.Index(src, "func (s *ChildSkeleton) Invoke")
+	if idx < 0 {
+		t.Fatal("child skeleton missing")
+	}
+	tail := src[idx:]
+	if !strings.Contains(tail[:strings.Index(tail, "\n}")+2], `case "ping":`) {
+		t.Error("child skeleton does not dispatch inherited ping")
+	}
+}
+
+func TestGenerateOutInoutParams(t *testing.T) {
+	src := generate(t, `
+interface Calc {
+  double divide(in double a, in double b, out double remainder, inout long counter);
+};
+`, Options{Package: "calc"})
+	want := "func (c *CalcStub) Divide(ctx context.Context, a float64, b float64, counter int32) (float64, float64, int32, error)"
+	if !strings.Contains(src, want) {
+		t.Errorf("stub signature missing %q in:\n%s", want, src)
+	}
+	if !strings.Contains(src, "Divide(a float64, b float64, counter int32) (float64, float64, int32, error)") {
+		t.Error("servant signature wrong")
+	}
+}
+
+func TestGenerateImplicitModule(t *testing.T) {
+	src := generate(t, `interface Echo { string echo(in string s); };`, Options{})
+	if !strings.Contains(src, "package generated") {
+		t.Error("implicit module package name wrong")
+	}
+	if !strings.Contains(src, `const EchoRepoID = "IDL:Echo:1.0"`) {
+		t.Error("implicit module repo id wrong")
+	}
+}
+
+func TestGeneratePackageOverride(t *testing.T) {
+	src := generate(t, `module m { interface I { void f(); }; };`, Options{Package: "custom"})
+	if !strings.Contains(src, "package custom") {
+		t.Error("package override ignored")
+	}
+}
+
+func TestGenerateNestedSequences(t *testing.T) {
+	src := generate(t, `
+module deep {
+  struct Row { sequence<double> cells; };
+  interface Grid {
+    sequence<sequence<string>> labels();
+    sequence<octet> blob();
+    void put(in sequence<Row> rows);
+  };
+};
+`, Options{})
+	for _, want := range []string{
+		"func marshalSeqSeqString(e *cdr.Encoder, v [][]string)",
+		"func unmarshalSeqString(d *cdr.Decoder) ([]string, error)",
+		"func marshalSeqRow(e *cdr.Encoder, v []Row)",
+		"func readOctetsCopy(d *cdr.Decoder) ([]byte, error)",
+		"Blob(ctx context.Context) ([]byte, error)",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source lacks %q", want)
+		}
+	}
+}
+
+func TestGenerateRejectsInvalidSpec(t *testing.T) {
+	spec, err := idl.Parse("bad.qidl", `interface I { Unknown f(); };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(spec, Options{}); err == nil {
+		t.Fatal("invalid spec generated")
+	}
+}
+
+func TestGenerateQoSWithoutOps(t *testing.T) {
+	src := generate(t, `
+module q {
+  qos Plain { param double x = 1.5; };
+  interface I supports Plain { void f(); };
+};
+`, Options{})
+	if strings.Contains(src, "PlainHandler") {
+		t.Error("handler generated for op-less characteristic")
+	}
+	if !strings.Contains(src, "func NewPlainImplBase(offer *qos.Offer) *PlainImplBase") {
+		t.Error("op-less impl base constructor wrong")
+	}
+	if !strings.Contains(src, "func (p PlainParams) X() float64") {
+		t.Error("typed param accessor missing")
+	}
+}
+
+func TestGoNameMapping(t *testing.T) {
+	cases := map[string]string{
+		"deposit":        "Deposit",
+		"repl_sync":      "ReplSync",
+		"max_age_ms":     "MaxAgeMs",
+		"_x":             "X",
+		"long_long_name": "LongLongName",
+	}
+	for in, want := range cases {
+		if got := goName(in); got != want {
+			t.Errorf("goName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if lowerName("type") != "type_" {
+		t.Error("keyword parameter not escaped")
+	}
+	if lowerName("from") != "from" {
+		t.Error("non-keyword escaped")
+	}
+}

@@ -1,0 +1,179 @@
+package gen
+
+import (
+	"maqs/internal/idl"
+)
+
+// genEnum emits the Go mapping of an enum: a named uint32 with constants,
+// String, and range-checked marshalling.
+func (g *generator) genEnum(m *idl.Module, d *idl.EnumDecl) {
+	g.use("maqs/internal/cdr")
+	g.use("fmt")
+	name := goName(d.Name)
+	g.p("// %s mirrors QIDL enum %s (%s).", name, d.Name, repoID(m, d.Name))
+	g.p("type %s uint32", name)
+	g.p("")
+	g.p("// %s members.", name)
+	g.p("const (")
+	g.in()
+	for i, member := range d.Members {
+		if i == 0 {
+			g.p("%s%s %s = iota", name, goName(member), name)
+		} else {
+			g.p("%s%s", name, goName(member))
+		}
+	}
+	g.out()
+	g.p(")")
+	g.p("")
+	g.p("// String names the enum member.")
+	g.p("func (v %s) String() string {", name)
+	g.in()
+	g.p("switch v {")
+	for _, member := range d.Members {
+		g.p("case %s%s:", name, goName(member))
+		g.in()
+		g.p("return %q", member)
+		g.out()
+	}
+	g.p("default:")
+	g.in()
+	g.p(`return fmt.Sprintf("%s(%%d)", uint32(v))`, name)
+	g.out()
+	g.p("}")
+	g.out()
+	g.p("}")
+	g.p("")
+	g.p("// Marshal writes the enum ordinal.")
+	g.p("func (v %s) Marshal(e *cdr.Encoder) {", name)
+	g.in()
+	g.p("e.WriteULong(uint32(v))")
+	g.out()
+	g.p("}")
+	g.p("")
+	g.p("// Unmarshal%s reads and validates an enum ordinal.", name)
+	g.p("func Unmarshal%s(d *cdr.Decoder) (%s, error) {", name, name)
+	g.in()
+	g.p("v, err := d.ReadULong()")
+	g.p("if err != nil {")
+	g.in()
+	g.p("return 0, err")
+	g.out()
+	g.p("}")
+	g.p("if v >= %d {", len(d.Members))
+	g.in()
+	g.p(`return 0, fmt.Errorf("enum %s ordinal %%d out of range", v)`, d.Name)
+	g.out()
+	g.p("}")
+	g.p("return %s(v), nil", name)
+	g.out()
+	g.p("}")
+	g.p("")
+}
+
+// genStruct emits the Go mapping of a struct with Marshal/Unmarshal.
+func (g *generator) genStruct(m *idl.Module, d *idl.StructDecl) {
+	g.use("maqs/internal/cdr")
+	name := goName(d.Name)
+	g.p("// %s mirrors QIDL struct %s (%s).", name, d.Name, repoID(m, d.Name))
+	g.p("type %s struct {", name)
+	g.in()
+	for _, f := range d.Fields {
+		g.p("%s %s", goName(f.Name), g.goType(f.Type))
+	}
+	g.out()
+	g.p("}")
+	g.p("")
+	g.p("// Marshal writes the struct members in declaration order.")
+	g.p("func (v %s) Marshal(e *cdr.Encoder) {", name)
+	g.in()
+	for _, f := range d.Fields {
+		g.p("%s", g.writeCall(f.Type, "v."+goName(f.Name)))
+	}
+	if len(d.Fields) == 0 {
+		g.p("_ = e")
+	}
+	g.out()
+	g.p("}")
+	g.p("")
+	g.p("// Unmarshal%s reads the struct members in declaration order.", name)
+	g.p("func Unmarshal%s(d *cdr.Decoder) (%s, error) {", name, name)
+	g.in()
+	g.p("var v %s", name)
+	g.p("var err error")
+	for _, f := range d.Fields {
+		g.p("if v.%s, err = %s; err != nil {", goName(f.Name), g.readCall(f.Type))
+		g.in()
+		g.p("return v, err")
+		g.out()
+		g.p("}")
+	}
+	if len(d.Fields) == 0 {
+		g.p("_ = d")
+		g.p("_ = err")
+	}
+	g.p("return v, nil")
+	g.out()
+	g.p("}")
+	g.p("")
+}
+
+// genException emits the Go mapping of a user exception: an error type
+// convertible to and from orb.UserException. Exception payloads are
+// always encoded big-endian (they carry no byte-order marker).
+func (g *generator) genException(m *idl.Module, d *idl.ExceptionDecl) {
+	g.use("maqs/internal/cdr")
+	g.use("maqs/internal/orb")
+	name := goName(d.Name)
+	g.p("// %sRepoID identifies exception %s on the wire.", name, d.Name)
+	g.p("const %sRepoID = %q", name, repoID(m, d.Name))
+	g.p("")
+	g.p("// %s mirrors QIDL exception %s.", name, d.Name)
+	g.p("type %s struct {", name)
+	g.in()
+	for _, f := range d.Fields {
+		g.p("%s %s", goName(f.Name), g.goType(f.Type))
+	}
+	g.out()
+	g.p("}")
+	g.p("")
+	g.p("// Error implements the error interface.")
+	g.p("func (v *%s) Error() string {", name)
+	g.in()
+	g.p("return %q", "user exception "+repoID(m, d.Name))
+	g.out()
+	g.p("}")
+	g.p("")
+	g.p("// ToUserException marshals the exception for the wire.")
+	g.p("func (v *%s) ToUserException() *orb.UserException {", name)
+	g.in()
+	g.p("e := cdr.NewEncoder(cdr.BigEndian)")
+	for _, f := range d.Fields {
+		g.p("%s", g.writeCall(f.Type, "v."+goName(f.Name)))
+	}
+	g.p("return &orb.UserException{RepoID: %sRepoID, Data: e.Bytes()}", name)
+	g.out()
+	g.p("}")
+	g.p("")
+	g.p("// %sFromUserException decodes the wire form.", name)
+	g.p("func %sFromUserException(u *orb.UserException) (*%s, error) {", name, name)
+	g.in()
+	g.p("d := cdr.NewDecoder(u.Data, cdr.BigEndian)")
+	g.p("var v %s", name)
+	g.p("var err error")
+	for _, f := range d.Fields {
+		g.p("if v.%s, err = %s; err != nil {", goName(f.Name), g.readCall(f.Type))
+		g.in()
+		g.p("return nil, err")
+		g.out()
+		g.p("}")
+	}
+	if len(d.Fields) == 0 {
+		g.p("_ = d")
+		g.p("_ = err")
+	}
+	g.p("return &v, nil")
+	g.out()
+	g.p("}")
+	g.p("")
+}

@@ -1,0 +1,246 @@
+package calcgen
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"sync"
+	"testing"
+
+	"go/format"
+
+	"maqs/internal/idl"
+	"maqs/internal/idl/gen"
+	"maqs/internal/netsim"
+	"maqs/internal/orb"
+	"maqs/internal/qos"
+)
+
+// TestGeneratedCodeInSync pins calc.gen.go to qidlc output.
+func TestGeneratedCodeInSync(t *testing.T) {
+	src, err := os.ReadFile("calc.qidl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := idl.Parse("internal/idl/gen/testdata/calcgen/calc.qidl", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := gen.Generate(spec, gen.Options{
+		Package: "calcgen",
+		Source:  "internal/idl/gen/testdata/calcgen/calc.qidl",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatted, err := format.Source(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := os.ReadFile("calc.gen.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(formatted) != string(checked) {
+		t.Fatal("calc.gen.go out of sync; rerun qidlc")
+	}
+}
+
+// calculator implements the generated Calculator servant interface.
+type calculator struct {
+	mu     sync.Mutex
+	ops    uint32
+	banner string
+	hist   []Sample
+}
+
+var _ Calculator = (*calculator)(nil)
+
+func (c *calculator) GetOperations() (uint32, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ops, nil
+}
+
+func (c *calculator) GetBanner() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.banner, nil
+}
+
+func (c *calculator) SetBanner(value string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.banner = value
+	return nil
+}
+
+func (c *calculator) Divide(a, b float64) (float64, float64, error) {
+	c.mu.Lock()
+	c.ops++
+	c.hist = append(c.hist, Sample{Tag: "divide", Value: a / b})
+	c.mu.Unlock()
+	if b == 0 {
+		return 0, 0, &DivByZero{Numerator: a}
+	}
+	quotient := math.Trunc(a / b)
+	return quotient, a - quotient*b, nil
+}
+
+func (c *calculator) Accumulate(total float64, values []float64) (float64, error) {
+	c.mu.Lock()
+	c.ops++
+	c.mu.Unlock()
+	for _, v := range values {
+		total += v
+	}
+	return total, nil
+}
+
+func (c *calculator) Stats(limit uint32) ([]Sample, uint32, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if int(limit) >= len(c.hist) {
+		return append([]Sample(nil), c.hist...), 0, nil
+	}
+	dropped := uint32(len(c.hist)) - limit
+	return append([]Sample(nil), c.hist[dropped:]...), dropped, nil
+}
+
+// tracingHandler implements the generated TracingHandler.
+type tracingHandler struct {
+	mu     sync.Mutex
+	counts map[string]int32
+}
+
+func (h *tracingHandler) TraceCount(b *qos.Binding, op string) (int32, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.counts[op]++
+	return h.counts[op], nil
+}
+
+func newWorld(t *testing.T) *CalculatorStub {
+	t.Helper()
+	n := netsim.NewNetwork()
+	server := orb.New(orb.Options{Transport: n.Host("server")})
+	if err := server.Listen("server:9999"); err != nil {
+		t.Fatal(err)
+	}
+	impl := NewTracingImplBase(nil, &tracingHandler{counts: map[string]int32{}})
+	skel, err := NewCalculatorServerSkeleton(&calculator{banner: "ready"}, impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := server.Adapter().ActivateQoS("calc", CalculatorRepoID, skel, CalculatorQoSInfo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := orb.New(orb.Options{Transport: n.Host("client")})
+	registry := qos.NewRegistry()
+	if err := registry.Register(TracingDescriptor(), nil); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		client.Shutdown()
+		server.Shutdown()
+	})
+	return NewCalculatorStubWithRegistry(client, ref, registry)
+}
+
+func TestOutParamRoundTrip(t *testing.T) {
+	stub := newWorld(t)
+	quotient, remainder, err := stub.Divide(context.Background(), 17, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quotient != 3 || remainder != 2 {
+		t.Fatalf("divide = %g r %g", quotient, remainder)
+	}
+}
+
+func TestInOutParamRoundTrip(t *testing.T) {
+	stub := newWorld(t)
+	total, err := stub.Accumulate(context.Background(), 10, []float64{1, 2, 3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 16.5 {
+		t.Fatalf("accumulate = %g", total)
+	}
+}
+
+func TestResultPlusOutSequence(t *testing.T) {
+	stub := newWorld(t)
+	ctx := context.Background()
+	for i := 1; i <= 5; i++ {
+		if _, _, err := stub.Divide(ctx, float64(10*i), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	samples, dropped, err := stub.Stats(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 || dropped != 2 {
+		t.Fatalf("stats = %d samples, %d dropped", len(samples), dropped)
+	}
+	if samples[2].Tag != "divide" || samples[2].Value != 25 {
+		t.Fatalf("last sample = %+v", samples[2])
+	}
+}
+
+func TestAttributesRoundTrip(t *testing.T) {
+	stub := newWorld(t)
+	ctx := context.Background()
+	banner, err := stub.GetBanner(ctx)
+	if err != nil || banner != "ready" {
+		t.Fatalf("banner = %q, %v", banner, err)
+	}
+	if err := stub.SetBanner(ctx, "busy"); err != nil {
+		t.Fatal(err)
+	}
+	banner, err = stub.GetBanner(ctx)
+	if err != nil || banner != "busy" {
+		t.Fatalf("banner = %q, %v", banner, err)
+	}
+	ops, err := stub.GetOperations(ctx)
+	if err != nil || ops != 0 {
+		t.Fatalf("operations = %d, %v", ops, err)
+	}
+	if _, _, err := stub.Divide(ctx, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	ops, err = stub.GetOperations(ctx)
+	if err != nil || ops != 1 {
+		t.Fatalf("operations = %d, %v", ops, err)
+	}
+}
+
+func TestTypedExceptionWithOutParams(t *testing.T) {
+	stub := newWorld(t)
+	_, _, err := stub.Divide(context.Background(), 9, 0)
+	var dz *DivByZero
+	if !errors.As(err, &dz) || dz.Numerator != 9 {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQoSOpWithResult(t *testing.T) {
+	stub := newWorld(t)
+	ctx := context.Background()
+	if _, err := stub.QoS().Negotiate(ctx, &qos.Proposal{Characteristic: TracingName}); err != nil {
+		t.Fatal(err)
+	}
+	calls := TracingCalls{Stub: stub.QoS()}
+	for want := int32(1); want <= 3; want++ {
+		got, err := calls.TraceCount(ctx, "divide")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trace count = %d, want %d", got, want)
+		}
+	}
+}

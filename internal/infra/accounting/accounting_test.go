@@ -1,0 +1,155 @@
+package accounting
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"maqs/internal/cdr"
+	"maqs/internal/ior"
+	"maqs/internal/netsim"
+	"maqs/internal/orb"
+	"maqs/internal/qos"
+)
+
+// paidServant does trivial work.
+type paidServant struct{}
+
+func (paidServant) Invoke(req *orb.ServerRequest) error {
+	s, err := req.In().ReadString()
+	if err != nil {
+		return err
+	}
+	req.Out.WriteString(s + s)
+	return nil
+}
+
+type world struct {
+	meter  *Meter
+	stub   *qos.Stub
+	client *orb.ORB
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	n := netsim.NewNetwork()
+	server := orb.New(orb.Options{Transport: n.Host("server")})
+	if err := server.Listen("server:9950"); err != nil {
+		t.Fatal(err)
+	}
+	meter := NewMeter()
+	server.AddIncomingFilter(meter)
+
+	impl := &qos.BaseImpl{
+		Desc: &qos.Characteristic{Name: "Metered"},
+		Capability: &qos.Offer{
+			Characteristic: "Metered",
+			Params:         []qos.ParamOffer{{Name: "tier", Kind: qos.KindNumber, Min: 1, Max: 3, Default: qos.Number(1)}},
+		},
+	}
+	skel := qos.NewServerSkeleton(paidServant{})
+	if err := skel.AddQoS(impl); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := server.Adapter().ActivateQoS("paid", "IDL:test/Paid:1.0", skel,
+		ior.QoSInfo{Characteristics: []string{"Metered"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := orb.New(orb.Options{Transport: n.Host("client")})
+	registry := qos.NewRegistry()
+	if err := registry.Register(&qos.Characteristic{Name: "Metered"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	stub := qos.NewStubWithRegistry(client, ref, registry)
+	t.Cleanup(func() {
+		client.Shutdown()
+		server.Shutdown()
+	})
+	return &world{meter: meter, stub: stub, client: client}
+}
+
+func (w *world) call(t *testing.T, payload string) {
+	t.Helper()
+	e := cdr.NewEncoder(w.client.Order())
+	e.WriteString(payload)
+	if _, err := w.stub.Call(context.Background(), "double", e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeterAttributesTaggedTraffic(t *testing.T) {
+	w := newWorld(t)
+	b, err := w.stub.Negotiate(context.Background(), &qos.Proposal{Characteristic: "Metered"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		w.call(t, "pay-per-use")
+	}
+	u, ok := w.meter.UsageOf(b.ID)
+	if !ok {
+		t.Fatal("no usage recorded")
+	}
+	if u.Requests != 5 || u.Characteristic != "Metered" {
+		t.Fatalf("usage = %+v", u)
+	}
+	if u.BytesIn == 0 || u.BytesOut == 0 {
+		t.Fatalf("byte counters empty: %+v", u)
+	}
+	if u.LastSeen.Before(u.FirstSeen) {
+		t.Fatalf("timestamps inverted: %+v", u)
+	}
+}
+
+func TestUntaggedTrafficNotAccounted(t *testing.T) {
+	w := newWorld(t)
+	w.call(t, "free ride") // no binding, no tag
+	if got := w.meter.Statements(); len(got) != 0 {
+		t.Fatalf("statements = %+v", got)
+	}
+}
+
+func TestBilling(t *testing.T) {
+	w := newWorld(t)
+	b, err := w.stub.Negotiate(context.Background(), &qos.Proposal{Characteristic: "Metered"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.call(t, "x")
+	w.call(t, "y")
+
+	// No tariff yet.
+	if _, err := w.meter.Bill(b.ID); err == nil {
+		t.Fatal("bill without tariff succeeded")
+	}
+	w.meter.SetTariff("Metered", Tariff{PerRequest: 0.5})
+	cost, err := w.meter.Bill(b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 1.0 {
+		t.Fatalf("cost = %g", cost)
+	}
+	// Unknown binding.
+	if _, err := w.meter.Bill("ghost"); err == nil {
+		t.Fatal("bill for ghost binding succeeded")
+	}
+	// Statements include the priced line.
+	st := w.meter.Statements()
+	if len(st) != 1 || st[0].Cost != 1.0 || st[0].BindingID != b.ID {
+		t.Fatalf("statements = %+v", st)
+	}
+	w.meter.Reset()
+	if len(w.meter.Statements()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestTariffCost(t *testing.T) {
+	u := Usage{Requests: 10, BytesIn: 1024, BytesOut: 1024, Busy: 2 * time.Second}
+	tr := Tariff{PerRequest: 1, PerKiB: 0.5, PerBusySecond: 0.25}
+	if got := tr.Cost(u); got != 10+1+0.5 {
+		t.Fatalf("cost = %g", got)
+	}
+}

@@ -1,0 +1,298 @@
+// Package naming implements a CORBA-style naming service: a hierarchy of
+// contexts binding names to object references. Together with the trader
+// it completes the discovery side of the framework's infrastructure
+// services — the trader answers "who offers this QoS", the naming service
+// answers "who is called this".
+//
+// Names are path-like ("finance/accounts/main"); intermediate contexts
+// are created implicitly on bind.
+package naming
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"maqs/internal/cdr"
+	"maqs/internal/ior"
+	"maqs/internal/orb"
+)
+
+// ObjectKey is the adapter key the naming servant is activated under.
+const ObjectKey = "maqs/naming"
+
+// RepoID identifies the naming interface.
+const RepoID = "IDL:maqs/Naming:1.0"
+
+// Naming operations.
+const (
+	OpBind    = "bind"
+	OpRebind  = "rebind"
+	OpResolve = "resolve"
+	OpUnbind  = "unbind"
+	OpList    = "list"
+)
+
+// Servant is the naming service implementation.
+type Servant struct {
+	mu       sync.RWMutex
+	bindings map[string]string // normalised name → stringified IOR
+}
+
+var _ orb.Servant = (*Servant)(nil)
+
+// NewServant constructs an empty naming service.
+func NewServant() *Servant {
+	return &Servant{bindings: make(map[string]string)}
+}
+
+// normalise canonicalises a path-like name.
+func normalise(name string) (string, error) {
+	parts := strings.Split(name, "/")
+	out := parts[:0]
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return "", fmt.Errorf("naming: empty name")
+	}
+	return strings.Join(out, "/"), nil
+}
+
+// Bind associates a name with a reference; it fails if the name is taken.
+func (s *Servant) Bind(name, ref string) error {
+	n, err := normalise(name)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, taken := s.bindings[n]; taken {
+		return fmt.Errorf("naming: name %q already bound", n)
+	}
+	s.bindings[n] = ref
+	return nil
+}
+
+// Rebind associates a name with a reference, replacing any binding.
+func (s *Servant) Rebind(name, ref string) error {
+	n, err := normalise(name)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bindings[n] = ref
+	return nil
+}
+
+// Resolve looks a name up.
+func (s *Servant) Resolve(name string) (string, error) {
+	n, err := normalise(name)
+	if err != nil {
+		return "", err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ref, ok := s.bindings[n]
+	if !ok {
+		return "", fmt.Errorf("naming: name %q not bound", n)
+	}
+	return ref, nil
+}
+
+// Unbind removes a binding; it reports whether the name was bound.
+func (s *Servant) Unbind(name string) bool {
+	n, err := normalise(name)
+	if err != nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.bindings[n]
+	delete(s.bindings, n)
+	return ok
+}
+
+// List returns the bound names under a prefix context ("" lists all),
+// sorted.
+func (s *Servant) List(prefix string) []string {
+	var ctx string
+	if prefix != "" {
+		n, err := normalise(prefix)
+		if err != nil {
+			return nil
+		}
+		ctx = n + "/"
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for name := range s.bindings {
+		if ctx == "" || strings.HasPrefix(name, ctx) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Invoke implements orb.Servant.
+func (s *Servant) Invoke(req *orb.ServerRequest) error {
+	switch req.Operation {
+	case OpBind, OpRebind:
+		d := req.In()
+		name, err := d.ReadString()
+		if err != nil {
+			return orb.NewSystemException(orb.ExcMarshal, 130, "bad bind: %v", err)
+		}
+		ref, err := d.ReadString()
+		if err != nil {
+			return orb.NewSystemException(orb.ExcMarshal, 130, "bad bind ref: %v", err)
+		}
+		if req.Operation == OpBind {
+			err = s.Bind(name, ref)
+		} else {
+			err = s.Rebind(name, ref)
+		}
+		if err != nil {
+			return orb.NewSystemException(orb.ExcBadParam, 131, "%v", err)
+		}
+		return nil
+	case OpResolve:
+		name, err := req.In().ReadString()
+		if err != nil {
+			return orb.NewSystemException(orb.ExcMarshal, 132, "bad resolve: %v", err)
+		}
+		ref, err := s.Resolve(name)
+		if err != nil {
+			return orb.NewSystemException(orb.ExcObjectNotExist, 133, "%v", err)
+		}
+		req.Out.WriteString(ref)
+		return nil
+	case OpUnbind:
+		name, err := req.In().ReadString()
+		if err != nil {
+			return orb.NewSystemException(orb.ExcMarshal, 134, "bad unbind: %v", err)
+		}
+		req.Out.WriteBool(s.Unbind(name))
+		return nil
+	case OpList:
+		prefix, err := req.In().ReadString()
+		if err != nil {
+			return orb.NewSystemException(orb.ExcMarshal, 135, "bad list: %v", err)
+		}
+		names := s.List(prefix)
+		req.Out.WriteULong(uint32(len(names)))
+		for _, n := range names {
+			req.Out.WriteString(n)
+		}
+		return nil
+	default:
+		return orb.NewSystemException(orb.ExcBadOperation, 136, "naming has no operation %q", req.Operation)
+	}
+}
+
+// Client drives a remote naming service.
+type Client struct {
+	orb    *orb.ORB
+	target *ior.IOR
+}
+
+// NewClient builds a naming client.
+func NewClient(o *orb.ORB, target *ior.IOR) *Client {
+	return &Client{orb: o, target: target}
+}
+
+func (c *Client) call(ctx context.Context, op string, args []byte) (*cdr.Decoder, error) {
+	out, err := c.orb.Invoke(ctx, &orb.Invocation{
+		Target:           c.target,
+		Operation:        op,
+		Args:             args,
+		ResponseExpected: true,
+		Order:            c.orb.Order(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := out.Err(); err != nil {
+		return nil, err
+	}
+	return out.Decoder(), nil
+}
+
+// Bind binds a name to a reference remotely.
+func (c *Client) Bind(ctx context.Context, name string, ref *ior.IOR) error {
+	e := cdr.NewEncoder(c.orb.Order())
+	e.WriteString(name)
+	e.WriteString(ref.String())
+	_, err := c.call(ctx, OpBind, e.Bytes())
+	return err
+}
+
+// Rebind binds a name, replacing any existing binding.
+func (c *Client) Rebind(ctx context.Context, name string, ref *ior.IOR) error {
+	e := cdr.NewEncoder(c.orb.Order())
+	e.WriteString(name)
+	e.WriteString(ref.String())
+	_, err := c.call(ctx, OpRebind, e.Bytes())
+	return err
+}
+
+// Resolve looks a name up and parses the reference.
+func (c *Client) Resolve(ctx context.Context, name string) (*ior.IOR, error) {
+	e := cdr.NewEncoder(c.orb.Order())
+	e.WriteString(name)
+	d, err := c.call(ctx, OpResolve, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	s, err := d.ReadString()
+	if err != nil {
+		return nil, fmt.Errorf("naming: decoding resolve result: %w", err)
+	}
+	return ior.Parse(s)
+}
+
+// Unbind removes a binding remotely.
+func (c *Client) Unbind(ctx context.Context, name string) (bool, error) {
+	e := cdr.NewEncoder(c.orb.Order())
+	e.WriteString(name)
+	d, err := c.call(ctx, OpUnbind, e.Bytes())
+	if err != nil {
+		return false, err
+	}
+	return d.ReadBool()
+}
+
+// List lists bound names under a prefix remotely.
+func (c *Client) List(ctx context.Context, prefix string) ([]string, error) {
+	e := cdr.NewEncoder(c.orb.Order())
+	e.WriteString(prefix)
+	d, err := c.call(ctx, OpList, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, fmt.Errorf("naming: decoding list count: %w", err)
+	}
+	if n > 65536 {
+		return nil, fmt.Errorf("naming: list count %d exceeds limit", n)
+	}
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		s, err := d.ReadString()
+		if err != nil {
+			return nil, fmt.Errorf("naming: decoding list entry: %w", err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package naming
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"maqs/internal/ior"
+	"maqs/internal/netsim"
+	"maqs/internal/orb"
+)
+
+func TestLocalBindResolveUnbind(t *testing.T) {
+	s := NewServant()
+	if err := s.Bind("finance/accounts/main", "IOR:01"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind("finance/accounts/main", "IOR:02"); err == nil {
+		t.Fatal("double bind accepted")
+	}
+	if err := s.Rebind("finance/accounts/main", "IOR:02"); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := s.Resolve("finance/accounts/main")
+	if err != nil || ref != "IOR:02" {
+		t.Fatalf("resolve = %q, %v", ref, err)
+	}
+	// Normalisation: odd slashes and spaces collapse.
+	ref, err = s.Resolve("  finance//accounts / main ")
+	if err != nil || ref != "IOR:02" {
+		t.Fatalf("normalised resolve = %q, %v", ref, err)
+	}
+	if !s.Unbind("finance/accounts/main") || s.Unbind("finance/accounts/main") {
+		t.Fatal("unbind misbehaves")
+	}
+	if _, err := s.Resolve("finance/accounts/main"); err == nil {
+		t.Fatal("resolved after unbind")
+	}
+	if err := s.Bind("", "IOR:03"); err == nil {
+		t.Fatal("empty name bound")
+	}
+}
+
+func TestLocalList(t *testing.T) {
+	s := NewServant()
+	for _, n := range []string{"a/x", "a/y", "b/z", "top"} {
+		if err := s.Bind(n, "IOR:00"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := s.List("")
+	if len(all) != 4 || all[0] != "a/x" || all[3] != "top" {
+		t.Fatalf("list all = %v", all)
+	}
+	under := s.List("a")
+	if len(under) != 2 || under[0] != "a/x" || under[1] != "a/y" {
+		t.Fatalf("list a = %v", under)
+	}
+	if got := s.List("nope"); len(got) != 0 {
+		t.Fatalf("list nope = %v", got)
+	}
+}
+
+func TestRemoteNaming(t *testing.T) {
+	n := netsim.NewNetwork()
+	server := orb.New(orb.Options{Transport: n.Host("ns")})
+	if err := server.Listen("ns:9100"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	nsRef, err := server.Adapter().Activate(ObjectKey, RepoID, NewServant())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second object to bind by name.
+	echoRef, err := server.Adapter().Activate("echo", "IDL:test/Echo:1.0",
+		orb.ServantFunc(func(req *orb.ServerRequest) error {
+			req.Out.WriteString("named hello")
+			return nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clientORB := orb.New(orb.Options{Transport: n.Host("client")})
+	defer clientORB.Shutdown()
+	client := NewClient(clientORB, nsRef)
+	ctx := context.Background()
+
+	if err := client.Bind(ctx, "demo/echo", echoRef); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Bind(ctx, "demo/echo", echoRef); err == nil {
+		t.Fatal("remote double bind accepted")
+	}
+	resolved, err := client.Resolve(ctx, "demo/echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resolved.Equal(echoRef) {
+		t.Fatalf("resolved = %+v", resolved)
+	}
+	// Invoke through the resolved reference: discovery → invocation.
+	out, err := clientORB.Invoke(ctx, &orb.Invocation{
+		Target: resolved, Operation: "greet", ResponseExpected: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := out.Decoder().ReadString(); s != "named hello" {
+		t.Fatalf("greeting = %q", s)
+	}
+
+	names, err := client.List(ctx, "demo")
+	if err != nil || len(names) != 1 || names[0] != "demo/echo" {
+		t.Fatalf("list = %v, %v", names, err)
+	}
+	ok, err := client.Unbind(ctx, "demo/echo")
+	if err != nil || !ok {
+		t.Fatalf("unbind = %v, %v", ok, err)
+	}
+	_, err = client.Resolve(ctx, "demo/echo")
+	var sys *orb.SystemException
+	if !errors.As(err, &sys) || sys.Name != orb.ExcObjectNotExist {
+		t.Fatalf("resolve after unbind err = %v", err)
+	}
+}
+
+func TestRemoteRebind(t *testing.T) {
+	n := netsim.NewNetwork()
+	server := orb.New(orb.Options{Transport: n.Host("ns")})
+	if err := server.Listen("ns:9101"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	nsRef, err := server.Adapter().Activate(ObjectKey, RepoID, NewServant())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientORB := orb.New(orb.Options{Transport: n.Host("client")})
+	defer clientORB.Shutdown()
+	client := NewClient(clientORB, nsRef)
+	ctx := context.Background()
+
+	a := ior.New("IDL:A:1.0", "h", 1, []byte("a"))
+	b := ior.New("IDL:B:1.0", "h", 2, []byte("b"))
+	if err := client.Bind(ctx, "svc", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Rebind(ctx, "svc", b); err != nil {
+		t.Fatal(err)
+	}
+	resolved, err := client.Resolve(ctx, "svc")
+	if err != nil || !resolved.Equal(b) {
+		t.Fatalf("resolved = %+v, %v", resolved, err)
+	}
+}

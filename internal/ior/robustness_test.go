@@ -1,0 +1,48 @@
+package ior
+
+import (
+	"encoding/hex"
+	"math/rand"
+	"testing"
+)
+
+// TestParseNeverPanicsOnMutation mutates a valid stringified reference
+// and asserts Parse either fails cleanly or returns a usable reference.
+func TestParseNeverPanicsOnMutation(t *testing.T) {
+	ref := New("IDL:bank/Account:1.0", "10.0.0.1", 9900, []byte("adapter/account-1"))
+	ref.SetQoS(QoSInfo{Characteristics: []string{"Availability"}, Modules: []string{"group"}})
+	ref.SetAlternateEndpoints([]string{"10.0.0.1:9900", "10.0.0.2:9900"})
+	valid, err := hex.DecodeString(ref.String()[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		mutated := append([]byte(nil), valid...)
+		for f := 0; f < 1+rng.Intn(3); f++ {
+			mutated[rng.Intn(len(mutated))] ^= byte(1 << rng.Intn(8))
+		}
+		got, err := Parse("IOR:" + hex.EncodeToString(mutated))
+		if err != nil {
+			continue
+		}
+		// Survivors must be internally consistent under the accessors.
+		_, _, _ = got.QoS()
+		_, _ = got.AlternateEndpoints()
+		_ = got.String()
+	}
+}
+
+// TestParseRandomHex feeds pure noise.
+func TestParseRandomHex(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		garbage := make([]byte, rng.Intn(128))
+		rng.Read(garbage)
+		if got, err := Parse("IOR:" + hex.EncodeToString(garbage)); err == nil {
+			// Extremely unlikely, but must still be safe to use.
+			_ = got.String()
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package netsim
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// measureOneWay sends one byte and returns the client-observed delivery
+// time at the server.
+func measureOneWay(t *testing.T, n *Network, port string) time.Duration {
+	t.Helper()
+	l, err := n.Listen("srv:" + port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan time.Duration, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 1)
+		start := time.Now()
+		if _, err := io.ReadFull(c, buf); err != nil {
+			return
+		}
+		done <- time.Since(start)
+	}()
+	c, err := n.Dial("srv:" + port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-done:
+		return d
+	case <-time.After(5 * time.Second):
+		t.Fatal("delivery timed out")
+		return 0
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	n := NewNetwork()
+	n.SetDefaultLink(Link{Latency: 10 * time.Millisecond, Jitter: 20 * time.Millisecond})
+	n.Seed(42)
+	for i := 0; i < 5; i++ {
+		d := measureOneWay(t, n, string(rune('1'+i)))
+		if d < 8*time.Millisecond {
+			t.Fatalf("delivery %v below base latency", d)
+		}
+		if d > 60*time.Millisecond {
+			t.Fatalf("delivery %v above latency+jitter+slack", d)
+		}
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	// Two identically seeded networks produce the same jitter sequence.
+	sample := func(seed int64) []int64 {
+		n := NewNetwork()
+		n.Seed(seed)
+		out := make([]int64, 8)
+		for i := range out {
+			out[i] = n.rng.int63n(1_000_000)
+		}
+		return out
+	}
+	a, b := sample(7), sample(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequences diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := sample(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestTransmitTime(t *testing.T) {
+	l := Link{BitsPerSec: 8000} // 1000 bytes/s
+	if got := l.transmitTime(1000); got != time.Second {
+		t.Fatalf("transmitTime(1000) = %v", got)
+	}
+	if got := l.transmitTime(0); got != 0 {
+		t.Fatalf("transmitTime(0) = %v", got)
+	}
+	if got := (Link{}).transmitTime(1 << 20); got != 0 {
+		t.Fatalf("unconstrained transmitTime = %v", got)
+	}
+}
+
+func TestTimeScaleValidation(t *testing.T) {
+	n := NewNetwork()
+	n.SetTimeScale(-5) // invalid: falls back to 1
+	if got := n.scaled(time.Second); got != time.Second {
+		t.Fatalf("scaled = %v", got)
+	}
+	n.SetTimeScale(0.5)
+	if got := n.scaled(time.Second); got != 500*time.Millisecond {
+		t.Fatalf("scaled = %v", got)
+	}
+}
+
+func TestBacklogOverflowRefused(t *testing.T) {
+	n := NewNetwork()
+	l, err := n.Listen("srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Never accept; fill the backlog (64) and expect refusal after.
+	conns := make([]net.Conn, 0, 70)
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	refused := false
+	for i := 0; i < 70; i++ {
+		c, err := n.Dial("srv:1")
+		if err != nil {
+			refused = true
+			break
+		}
+		conns = append(conns, c)
+	}
+	if !refused {
+		t.Fatal("backlog never overflowed")
+	}
+}

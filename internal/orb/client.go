@@ -1,0 +1,291 @@
+package orb
+
+import (
+	"context"
+	"net"
+	"sync"
+
+	"maqs/internal/cdr"
+	"maqs/internal/giop"
+)
+
+// iiopModule is the built-in transport module: plain GIOP over the ORB's
+// byte transport. It is both the default delivery path and the fall-back
+// module the QoS transport uses for unassigned bindings.
+type iiopModule struct {
+	orb *ORB
+
+	statsMu      sync.Mutex
+	requestsSent uint64
+	bytesSent    uint64
+	bytesRecv    uint64
+}
+
+var _ TransportModule = (*iiopModule)(nil)
+
+// Name implements TransportModule.
+func (m *iiopModule) Name() string { return "iiop" }
+
+// Stats reports cumulative request and byte counters (used by the
+// accounting service and the benchmarks).
+func (m *iiopModule) Stats() (requests, bytesSent, bytesRecv uint64) {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	return m.requestsSent, m.bytesSent, m.bytesRecv
+}
+
+func (m *iiopModule) account(sent, recv int) {
+	m.statsMu.Lock()
+	m.requestsSent++
+	m.bytesSent += uint64(sent)
+	m.bytesRecv += uint64(recv)
+	m.statsMu.Unlock()
+}
+
+// Send implements TransportModule.
+func (m *iiopModule) Send(ctx context.Context, inv *Invocation) (*Outcome, error) {
+	addr := inv.Target.Profile.Addr()
+	conn, err := m.orb.getConn(addr)
+	if err != nil {
+		return nil, err
+	}
+	out, sent, recv, err := conn.roundTrip(ctx, inv)
+	if err == nil {
+		m.account(sent, recv)
+	}
+	return out, err
+}
+
+// pendingReply is the rendezvous for one in-flight request.
+type pendingReply struct {
+	ch chan *Outcome
+}
+
+// clientConn multiplexes concurrent requests over one connection.
+type clientConn struct {
+	orb  *ORB
+	addr string
+	raw  net.Conn
+
+	writeMu sync.Mutex // serialises whole messages
+
+	mu            sync.Mutex
+	nextID        uint32
+	pending       map[uint32]*pendingReply
+	pendingLocate map[uint32]chan giop.LocateStatus
+	err           error // sticky failure
+}
+
+func newClientConn(o *ORB, addr string, raw net.Conn) *clientConn {
+	return &clientConn{
+		orb:           o,
+		addr:          addr,
+		raw:           raw,
+		pending:       make(map[uint32]*pendingReply),
+		pendingLocate: make(map[uint32]chan giop.LocateStatus),
+	}
+}
+
+// register allocates a request id and, when a response is expected, its
+// rendezvous channel.
+func (c *clientConn) register(wantReply bool) (uint32, *pendingReply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return 0, nil, c.err
+	}
+	c.nextID++
+	id := c.nextID
+	if !wantReply {
+		return id, nil, nil
+	}
+	p := &pendingReply{ch: make(chan *Outcome, 1)}
+	c.pending[id] = p
+	return id, p, nil
+}
+
+func (c *clientConn) unregister(id uint32) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// roundTrip sends the invocation and waits for the reply (unless oneway).
+// It reports the encoded request and reply sizes for accounting.
+func (c *clientConn) roundTrip(ctx context.Context, inv *Invocation) (out *Outcome, sent, recv int, err error) {
+	id, p, err := c.register(inv.ResponseExpected)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	order := c.orb.opts.Order
+
+	e := cdr.NewEncoder(order)
+	h := giop.RequestHeader{
+		Contexts:         inv.Contexts,
+		RequestID:        id,
+		ResponseExpected: inv.ResponseExpected,
+		ObjectKey:        inv.Target.Profile.ObjectKey,
+		Operation:        inv.Operation,
+	}
+	h.Marshal(e)
+	// The argument payload is spliced in as an octet sequence so its CDR
+	// alignment is self-contained (see package doc).
+	e.WriteOctets(inv.Args)
+	body := e.Bytes()
+
+	c.writeMu.Lock()
+	err = giop.WriteMessageFragmented(c.raw, giop.MsgRequest, order, body, c.orb.opts.MaxFragment)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.close(NewSystemException(ExcCommFailure, 2, "writing request to %s: %v", c.addr, err))
+		if p != nil {
+			c.unregister(id)
+		}
+		return nil, 0, 0, NewSystemException(ExcCommFailure, 2, "writing request to %s: %v", c.addr, err)
+	}
+	sent = len(body) + giop.HeaderSize
+
+	if !inv.ResponseExpected {
+		return &Outcome{Status: giop.ReplyNoException, Order: order}, sent, 0, nil
+	}
+
+	select {
+	case out := <-p.ch:
+		return out, sent, len(out.Data), nil
+	case <-ctx.Done():
+		c.unregister(id)
+		c.sendCancel(id)
+		if ctx.Err() == context.DeadlineExceeded {
+			return nil, sent, 0, NewSystemException(ExcTimeout, 1, "invocation of %s timed out", inv.Operation)
+		}
+		return nil, sent, 0, ctx.Err()
+	}
+}
+
+// sendCancel notifies the server that the client gave up on a request.
+func (c *clientConn) sendCancel(id uint32) {
+	e := cdr.NewEncoder(c.orb.opts.Order)
+	(&giop.CancelRequestHeader{RequestID: id}).Marshal(e)
+	c.writeMu.Lock()
+	_ = giop.WriteMessage(c.raw, giop.MsgCancelRequest, c.orb.opts.Order, e.Bytes())
+	c.writeMu.Unlock()
+}
+
+// locate issues a LocateRequest and waits for the LocateReply.
+func (c *clientConn) locate(ctx context.Context, objectKey []byte) (giop.LocateStatus, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return 0, err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan giop.LocateStatus, 1)
+	c.pendingLocate[id] = ch
+	c.mu.Unlock()
+
+	e := cdr.NewEncoder(c.orb.opts.Order)
+	(&giop.LocateRequestHeader{RequestID: id, ObjectKey: objectKey}).Marshal(e)
+	c.writeMu.Lock()
+	err := giop.WriteMessage(c.raw, giop.MsgLocateRequest, c.orb.opts.Order, e.Bytes())
+	c.writeMu.Unlock()
+	if err != nil {
+		c.close(NewSystemException(ExcCommFailure, 3, "writing locate request: %v", err))
+		return 0, NewSystemException(ExcCommFailure, 3, "writing locate request: %v", err)
+	}
+	select {
+	case st := <-ch:
+		return st, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pendingLocate, id)
+		c.mu.Unlock()
+		return 0, ctx.Err()
+	}
+}
+
+// readLoop demultiplexes replies until the connection dies.
+func (c *clientConn) readLoop() {
+	for {
+		msg, err := giop.ReadMessageReassembled(c.raw)
+		if err != nil {
+			c.close(NewSystemException(ExcCommFailure, 4, "connection to %s lost: %v", c.addr, err))
+			return
+		}
+		switch msg.Type {
+		case giop.MsgReply:
+			d := msg.Decoder()
+			h, err := giop.UnmarshalReplyHeader(d)
+			if err != nil {
+				c.orb.opts.Logger.Warn("orb: dropping malformed reply", "addr", c.addr, "err", err)
+				continue
+			}
+			data, err := d.ReadOctets()
+			if err != nil {
+				c.orb.opts.Logger.Warn("orb: dropping reply with malformed body", "addr", c.addr, "err", err)
+				continue
+			}
+			c.mu.Lock()
+			p, ok := c.pending[h.RequestID]
+			delete(c.pending, h.RequestID)
+			c.mu.Unlock()
+			if !ok {
+				continue // cancelled or unknown
+			}
+			p.ch <- &Outcome{
+				Status:   h.Status,
+				Data:     append([]byte(nil), data...),
+				Contexts: h.Contexts,
+				Order:    msg.Order,
+			}
+		case giop.MsgLocateReply:
+			d := msg.Decoder()
+			h, err := giop.UnmarshalLocateReplyHeader(d)
+			if err != nil {
+				continue
+			}
+			c.mu.Lock()
+			ch, ok := c.pendingLocate[h.RequestID]
+			delete(c.pendingLocate, h.RequestID)
+			c.mu.Unlock()
+			if ok {
+				ch <- h.Status
+			}
+		case giop.MsgCloseConnection:
+			c.close(NewSystemException(ExcTransient, 5, "server %s closed the connection", c.addr))
+			return
+		case giop.MsgMessageError:
+			c.close(NewSystemException(ExcCommFailure, 6, "peer %s reported a protocol error", c.addr))
+			return
+		default:
+			c.orb.opts.Logger.Warn("orb: unexpected message on client connection",
+				"addr", c.addr, "type", msg.Type.String())
+		}
+	}
+}
+
+// close fails all pending requests with cause and removes the connection
+// from the pool.
+func (c *clientConn) close(cause *SystemException) {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.err = cause
+	pending := c.pending
+	c.pending = make(map[uint32]*pendingReply)
+	locates := c.pendingLocate
+	c.pendingLocate = make(map[uint32]chan giop.LocateStatus)
+	c.mu.Unlock()
+
+	c.raw.Close()
+	c.orb.dropConn(c.addr, c)
+	for _, p := range pending {
+		p.ch <- OutcomeFromError(cause, c.orb.opts.Order)
+	}
+	for _, ch := range locates {
+		ch <- giop.LocateUnknownObject
+	}
+}

@@ -1,0 +1,71 @@
+package orb
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"maqs/internal/cdr"
+	"maqs/internal/netsim"
+)
+
+// TestFragmentedInvocationRoundTrip runs a large echo through an ORB pair
+// with a small fragment limit and verifies correctness end to end, plus
+// interop with an unfragmenting peer in both directions.
+func TestFragmentedInvocationRoundTrip(t *testing.T) {
+	payload := make([]byte, 300<<10) // forces many fragments at 64 KiB
+	rand.New(rand.NewSource(9)).Read(payload)
+
+	cases := []struct {
+		name                       string
+		serverFragment, clientFrag int
+	}{
+		{"bothFragmented", 64 << 10, 64 << 10},
+		{"onlyClientFragments", 0, 32 << 10},
+		{"onlyServerFragments", 16 << 10, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := netsim.NewNetwork()
+			server := New(Options{Transport: n.Host("server"), MaxFragment: tc.serverFragment})
+			if err := server.Listen("server:9650"); err != nil {
+				t.Fatal(err)
+			}
+			defer server.Shutdown()
+			ref, err := server.Adapter().Activate("mirror", "IDL:test/Mirror:1.0",
+				ServantFunc(func(req *ServerRequest) error {
+					p, err := req.In().ReadOctets()
+					if err != nil {
+						return err
+					}
+					req.Out.WriteOctets(p)
+					return nil
+				}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			client := New(Options{Transport: n.Host("client"), MaxFragment: tc.clientFrag})
+			defer client.Shutdown()
+
+			e := cdr.NewEncoder(client.Order())
+			e.WriteOctets(payload)
+			out, err := client.Invoke(context.Background(), &Invocation{
+				Target: ref, Operation: "mirror", Args: e.Bytes(), ResponseExpected: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := out.Err(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := out.Decoder().ReadOctets()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatal("fragmented payload corrupted")
+			}
+		})
+	}
+}

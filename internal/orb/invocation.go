@@ -1,0 +1,210 @@
+package orb
+
+import (
+	"context"
+	"fmt"
+
+	"maqs/internal/cdr"
+	"maqs/internal/giop"
+	"maqs/internal/ior"
+)
+
+// maxForwards bounds LOCATION_FORWARD chains so two objects forwarding to
+// each other cannot loop a client forever.
+const maxForwards = 4
+
+// Invocation is a client-side request travelling towards a target object.
+// Mediators (QoS aspect layer) and transport modules (QoS hierarchy layer)
+// may rewrite any of its fields before it is put on the wire.
+type Invocation struct {
+	// Target is the object reference the request is addressed to.
+	Target *ior.IOR
+	// Operation is the operation name.
+	Operation string
+	// Args holds the CDR-encoded in/inout arguments.
+	Args []byte
+	// Contexts are the request service contexts.
+	Contexts giop.ServiceContextList
+	// ResponseExpected is false for oneway operations.
+	ResponseExpected bool
+	// Order is the byte order Args are encoded in.
+	Order cdr.ByteOrder
+}
+
+// Clone returns a shallow copy with its own context list (the common need
+// of fan-out mediators; Args are treated as immutable).
+func (inv *Invocation) Clone() *Invocation {
+	cp := *inv
+	cp.Contexts = append(giop.ServiceContextList(nil), inv.Contexts...)
+	return &cp
+}
+
+// Outcome is the client-visible result of an invocation.
+type Outcome struct {
+	// Status mirrors the GIOP reply status.
+	Status giop.ReplyStatus
+	// Data holds the CDR-encoded reply body: results for NO_EXCEPTION,
+	// a marshalled exception otherwise.
+	Data []byte
+	// Contexts are the reply service contexts.
+	Contexts giop.ServiceContextList
+	// Order is the byte order Data is encoded in.
+	Order cdr.ByteOrder
+}
+
+// Err converts exceptional outcomes to errors: nil for NO_EXCEPTION, the
+// decoded *UserException or *SystemException otherwise.
+func (o *Outcome) Err() error {
+	switch o.Status {
+	case giop.ReplyNoException:
+		return nil
+	case giop.ReplyUserException:
+		exc, err := UnmarshalUserException(cdr.NewDecoder(o.Data, o.Order))
+		if err != nil {
+			return NewSystemException(ExcMarshal, 1, "undecodable user exception: %v", err)
+		}
+		return exc
+	case giop.ReplySystemException:
+		exc, err := UnmarshalSystemException(cdr.NewDecoder(o.Data, o.Order))
+		if err != nil {
+			return NewSystemException(ExcMarshal, 2, "undecodable system exception: %v", err)
+		}
+		return exc
+	case giop.ReplyLocationForward:
+		to, err := o.ForwardTarget()
+		if err != nil {
+			return NewSystemException(ExcMarshal, 4, "undecodable forward target: %v", err)
+		}
+		return &ForwardRequest{To: to}
+	default:
+		return NewSystemException(ExcInternal, 3, "unexpected reply status %v", o.Status)
+	}
+}
+
+// Decoder returns a CDR decoder over the outcome data.
+func (o *Outcome) Decoder() *cdr.Decoder { return cdr.NewDecoder(o.Data, o.Order) }
+
+// OutcomeFromError wraps an error into an exceptional Outcome, encoding it
+// the way a server would.
+func OutcomeFromError(err error, order cdr.ByteOrder) *Outcome {
+	e := cdr.NewEncoder(order)
+	switch exc := err.(type) {
+	case *UserException:
+		exc.Marshal(e)
+		return &Outcome{Status: giop.ReplyUserException, Data: e.Bytes(), Order: order}
+	case *SystemException:
+		exc.Marshal(e)
+		return &Outcome{Status: giop.ReplySystemException, Data: e.Bytes(), Order: order}
+	case *ForwardRequest:
+		exc.To.Marshal(e)
+		return &Outcome{Status: giop.ReplyLocationForward, Data: e.Bytes(), Order: order}
+	default:
+		sys := NewSystemException(ExcInternal, 0, "%v", err)
+		sys.Marshal(e)
+		return &Outcome{Status: giop.ReplySystemException, Data: e.Bytes(), Order: order}
+	}
+}
+
+// ForwardTarget decodes the new target of a LOCATION_FORWARD outcome.
+func (o *Outcome) ForwardTarget() (*ior.IOR, error) {
+	if o.Status != giop.ReplyLocationForward {
+		return nil, fmt.Errorf("orb: outcome is not a location forward")
+	}
+	return ior.Unmarshal(o.Decoder())
+}
+
+// OutcomeFromResult wraps encoded results into a successful Outcome.
+func OutcomeFromResult(data []byte, order cdr.ByteOrder) *Outcome {
+	return &Outcome{Status: giop.ReplyNoException, Data: data, Order: order}
+}
+
+// TransportModule delivers invocations to their target. The built-in
+// IIOP-style module talks GIOP over the ORB's transport; QoS modules wrap
+// or replace that path.
+type TransportModule interface {
+	// Name identifies the module (e.g. "iiop", "flate", "group").
+	Name() string
+	// Send delivers the invocation and returns its outcome. For oneway
+	// invocations Send returns an empty successful outcome as soon as
+	// the request is on the wire.
+	Send(ctx context.Context, inv *Invocation) (*Outcome, error)
+}
+
+// Router picks the transport module for an invocation. It is the client
+// half of the paper's Fig. 3 decision tree.
+type Router interface {
+	Route(inv *Invocation) (TransportModule, error)
+}
+
+// RouterFunc adapts a function to the Router interface.
+type RouterFunc func(inv *Invocation) (TransportModule, error)
+
+// Route implements Router.
+func (f RouterFunc) Route(inv *Invocation) (TransportModule, error) { return f(inv) }
+
+// ServerRequest is an incoming request under dispatch on the server side.
+type ServerRequest struct {
+	// ObjectKey addresses the servant within the adapter.
+	ObjectKey []byte
+	// Operation is the requested operation.
+	Operation string
+	// Contexts are the request service contexts.
+	Contexts giop.ServiceContextList
+	// Args holds the CDR-encoded arguments.
+	Args []byte
+	// Order is the byte order of Args (replies are encoded likewise).
+	Order cdr.ByteOrder
+	// Out accumulates the reply body for successful completion. The
+	// servant writes results here.
+	Out *cdr.Encoder
+	// OutContexts accumulates reply service contexts.
+	OutContexts giop.ServiceContextList
+	// Peer describes the remote endpoint, for diagnostics and accounting.
+	Peer string
+	// OneWay reports that no response will be sent.
+	OneWay bool
+}
+
+// In returns a fresh decoder over the request arguments.
+func (r *ServerRequest) In() *cdr.Decoder { return cdr.NewDecoder(r.Args, r.Order) }
+
+// ReplaceOut swaps the accumulated reply body for data. Epilogs and other
+// server-side QoS mechanisms use it to transform a servant's result.
+func (r *ServerRequest) ReplaceOut(data []byte) {
+	r.Out = cdr.NewEncoder(r.Order)
+	r.Out.WriteRaw(data)
+}
+
+// Servant is the server-side dispatch interface: both generated skeletons
+// and hand-written dynamic servants implement it.
+//
+// Returning nil sends the contents of req.Out with NO_EXCEPTION; returning
+// a *UserException or *SystemException sends that exception; any other
+// error is wrapped into an INTERNAL system exception.
+type Servant interface {
+	Invoke(req *ServerRequest) error
+}
+
+// ServantFunc adapts a function to the Servant interface.
+type ServantFunc func(req *ServerRequest) error
+
+// Invoke implements Servant.
+func (f ServantFunc) Invoke(req *ServerRequest) error { return f(req) }
+
+// IncomingFilter transforms a request before servant dispatch and its
+// reply after; server-side QoS modules (e.g. decompression) and the
+// monitoring probes are filters.
+type IncomingFilter interface {
+	// Inbound runs before dispatch; it may rewrite req.Args/Contexts.
+	Inbound(req *ServerRequest) error
+	// Outbound runs after dispatch with the encoded reply body; it may
+	// transform and must return the (possibly rewritten) body.
+	Outbound(req *ServerRequest, status giop.ReplyStatus, body []byte) ([]byte, error)
+}
+
+func validateOperation(op string) error {
+	if op == "" {
+		return fmt.Errorf("orb: empty operation name")
+	}
+	return nil
+}

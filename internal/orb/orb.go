@@ -1,0 +1,308 @@
+package orb
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"maqs/internal/cdr"
+	"maqs/internal/giop"
+	"maqs/internal/netsim"
+)
+
+// Options configures an ORB.
+type Options struct {
+	// Transport supplies dialing and listening. Defaults to plain TCP.
+	Transport netsim.Transport
+	// Order is the byte order used for outgoing messages. Defaults to
+	// big-endian (the CDR canonical order).
+	Order cdr.ByteOrder
+	// RequestTimeout bounds a synchronous invocation when the caller's
+	// context carries no deadline. Defaults to 10 seconds.
+	RequestTimeout time.Duration
+	// MaxFragment splits outgoing GIOP messages into fragments of at
+	// most this many body octets (0 disables fragmentation). Incoming
+	// fragmented messages are always reassembled.
+	MaxFragment int
+	// Logger receives diagnostics. Defaults to a discarding logger.
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Transport == nil {
+		o.Transport = &netsim.TCP{DialTimeout: 5 * time.Second}
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 10 * time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return o
+}
+
+// ORB is an object request broker instance. One process typically runs one
+// ORB per simulated host.
+type ORB struct {
+	opts    Options
+	iiop    *iiopModule
+	adapter *Adapter
+
+	mu             sync.Mutex
+	router         Router
+	conns          map[string]*clientConn
+	listeners      []net.Listener
+	serverConns    map[net.Conn]struct{}
+	filters        []IncomingFilter
+	commandHandler CommandHandler
+	endpointHost   string
+	endpointPort   uint16
+	shutdown       bool
+
+	wg sync.WaitGroup
+}
+
+// CommandHandler interprets command-tagged requests (the paper's dual use
+// of the request). The target names the addressed QoS module; the empty
+// string addresses the QoS transport itself.
+type CommandHandler interface {
+	HandleCommand(target string, req *ServerRequest) error
+}
+
+// New constructs an ORB.
+func New(opts Options) *ORB {
+	o := &ORB{
+		opts:        opts.withDefaults(),
+		conns:       make(map[string]*clientConn),
+		serverConns: make(map[net.Conn]struct{}),
+	}
+	o.iiop = &iiopModule{orb: o}
+	o.adapter = &Adapter{orb: o, servants: make(map[string]*activation)}
+	o.router = RouterFunc(func(*Invocation) (TransportModule, error) { return o.iiop, nil })
+	return o
+}
+
+// Logger exposes the ORB's logger for subsystems.
+func (o *ORB) Logger() *slog.Logger { return o.opts.Logger }
+
+// Order reports the byte order of the ORB.
+func (o *ORB) Order() cdr.ByteOrder { return o.opts.Order }
+
+// Adapter returns the object adapter.
+func (o *ORB) Adapter() *Adapter { return o.adapter }
+
+// IIOPModule returns the built-in GIOP/IIOP transport module (the default
+// delivery path and the fall-back for unassigned QoS bindings).
+func (o *ORB) IIOPModule() TransportModule { return o.iiop }
+
+// SetRouter replaces the client-side routing policy (installed by the QoS
+// transport).
+func (o *ORB) SetRouter(r Router) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if r == nil {
+		r = RouterFunc(func(*Invocation) (TransportModule, error) { return o.iiop, nil })
+	}
+	o.router = r
+}
+
+// SetCommandHandler installs the interpreter for command-tagged requests.
+func (o *ORB) SetCommandHandler(h CommandHandler) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.commandHandler = h
+}
+
+// AddIncomingFilter appends a server-side filter. Filters run in
+// registration order on the way in and in reverse order on the way out.
+func (o *ORB) AddIncomingFilter(f IncomingFilter) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.filters = append(o.filters, f)
+}
+
+func (o *ORB) currentFilters() []IncomingFilter {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]IncomingFilter(nil), o.filters...)
+}
+
+// Invoke sends the invocation through the routing layer and waits for its
+// outcome. The outcome may itself describe an exception; Invoke returns a
+// non-nil error only for local failures (routing, transport setup,
+// context cancellation).
+func (o *ORB) Invoke(ctx context.Context, inv *Invocation) (*Outcome, error) {
+	if err := validateOperation(inv.Operation); err != nil {
+		return nil, err
+	}
+	if inv.Target == nil {
+		return nil, NewSystemException(ExcBadParam, 1, "invocation without target")
+	}
+	o.mu.Lock()
+	router := o.router
+	o.mu.Unlock()
+	mod, err := router.Route(inv)
+	if err != nil {
+		return nil, fmt.Errorf("orb: routing %s: %w", inv.Operation, err)
+	}
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.opts.RequestTimeout)
+		defer cancel()
+	}
+	out, err := mod.Send(ctx, inv)
+	// Follow LOCATION_FORWARD replies (bounded, to break forward loops).
+	for hops := 0; err == nil && out != nil && out.Status == giop.ReplyLocationForward && inv.ResponseExpected; hops++ {
+		if hops == maxForwards {
+			return nil, NewSystemException(ExcTransient, 30,
+				"location forward chain exceeds %d hops for %s", maxForwards, inv.Operation)
+		}
+		target, ferr := out.ForwardTarget()
+		if ferr != nil {
+			return nil, NewSystemException(ExcMarshal, 31, "bad forward target: %v", ferr)
+		}
+		forwarded := inv.Clone()
+		forwarded.Target = target
+		out, err = mod.Send(ctx, forwarded)
+	}
+	return out, err
+}
+
+// Endpoint reports the advertised host and port (set by Listen).
+func (o *ORB) Endpoint() (host string, port uint16, ok bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.endpointHost, o.endpointPort, o.endpointHost != ""
+}
+
+// Listen binds the server side of the ORB to addr ("host:port") and
+// starts accepting requests. The first successful Listen determines the
+// endpoint advertised in IORs.
+func (o *ORB) Listen(addr string) error {
+	l, err := o.opts.Transport.Listen(addr)
+	if err != nil {
+		return fmt.Errorf("orb: listen %s: %w", addr, err)
+	}
+	boundAddr := l.Addr().String()
+	host, portStr, err := net.SplitHostPort(boundAddr)
+	if err != nil {
+		l.Close()
+		return fmt.Errorf("orb: parsing bound address %s: %w", boundAddr, err)
+	}
+	port, err := strconv.ParseUint(portStr, 10, 16)
+	if err != nil {
+		l.Close()
+		return fmt.Errorf("orb: parsing bound port %s: %w", portStr, err)
+	}
+
+	o.mu.Lock()
+	if o.shutdown {
+		o.mu.Unlock()
+		l.Close()
+		return fmt.Errorf("orb: listen after shutdown")
+	}
+	o.listeners = append(o.listeners, l)
+	if o.endpointHost == "" {
+		o.endpointHost = host
+		o.endpointPort = uint16(port)
+	}
+	o.mu.Unlock()
+
+	o.wg.Add(1)
+	go func() {
+		defer o.wg.Done()
+		o.acceptLoop(l)
+	}()
+	return nil
+}
+
+// Shutdown stops listeners, closes connections and waits for in-flight
+// work to drain.
+func (o *ORB) Shutdown() {
+	o.mu.Lock()
+	if o.shutdown {
+		o.mu.Unlock()
+		o.wg.Wait()
+		return
+	}
+	o.shutdown = true
+	listeners := o.listeners
+	o.listeners = nil
+	conns := make([]*clientConn, 0, len(o.conns))
+	for _, c := range o.conns {
+		conns = append(conns, c)
+	}
+	o.conns = make(map[string]*clientConn)
+	server := make([]net.Conn, 0, len(o.serverConns))
+	for c := range o.serverConns {
+		server = append(server, c)
+	}
+	o.mu.Unlock()
+
+	for _, l := range listeners {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.close(NewSystemException(ExcCommFailure, 9, "orb shutdown"))
+	}
+	for _, c := range server {
+		c.Close()
+	}
+	o.wg.Wait()
+}
+
+// getConn returns a live client connection to addr, dialing if needed.
+func (o *ORB) getConn(addr string) (*clientConn, error) {
+	o.mu.Lock()
+	if o.shutdown {
+		o.mu.Unlock()
+		return nil, NewSystemException(ExcCommFailure, 10, "orb is shut down")
+	}
+	if c, ok := o.conns[addr]; ok {
+		o.mu.Unlock()
+		return c, nil
+	}
+	o.mu.Unlock()
+
+	raw, err := o.opts.Transport.Dial(addr)
+	if err != nil {
+		return nil, NewSystemException(ExcTransient, 1, "dialing %s: %v", addr, err)
+	}
+
+	o.mu.Lock()
+	if o.shutdown {
+		o.mu.Unlock()
+		raw.Close()
+		return nil, NewSystemException(ExcCommFailure, 10, "orb is shut down")
+	}
+	if existing, ok := o.conns[addr]; ok {
+		// Lost the race; use the winner.
+		o.mu.Unlock()
+		raw.Close()
+		return existing, nil
+	}
+	c := newClientConn(o, addr, raw)
+	o.conns[addr] = c
+	o.mu.Unlock()
+
+	o.wg.Add(1)
+	go func() {
+		defer o.wg.Done()
+		c.readLoop()
+	}()
+	return c, nil
+}
+
+// dropConn removes a dead connection from the pool.
+func (o *ORB) dropConn(addr string, c *clientConn) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if cur, ok := o.conns[addr]; ok && cur == c {
+		delete(o.conns, addr)
+	}
+}

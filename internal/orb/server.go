@@ -1,0 +1,333 @@
+package orb
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+
+	"maqs/internal/cdr"
+	"maqs/internal/giop"
+	"maqs/internal/ior"
+)
+
+// activation records one servant registered with the adapter.
+type activation struct {
+	servant Servant
+	typeID  string
+	qos     *ior.QoSInfo
+}
+
+// Adapter is the object adapter: the registry mapping object keys to
+// servants and minting object references for them.
+type Adapter struct {
+	orb *ORB
+
+	mu       sync.RWMutex
+	servants map[string]*activation
+}
+
+// Activate registers a servant under the given object key and returns its
+// reference. The ORB must be listening (the endpoint goes into the IOR).
+func (a *Adapter) Activate(key, typeID string, s Servant) (*ior.IOR, error) {
+	return a.activate(key, typeID, s, nil)
+}
+
+// ActivateQoS registers a QoS-aware servant: the returned reference
+// carries a TagQoS component advertising the supported characteristics
+// and transport modules, which is what makes client-side QoS dispatch
+// possible (paper Fig. 3).
+func (a *Adapter) ActivateQoS(key, typeID string, s Servant, info ior.QoSInfo) (*ior.IOR, error) {
+	return a.activate(key, typeID, s, &info)
+}
+
+func (a *Adapter) activate(key, typeID string, s Servant, info *ior.QoSInfo) (*ior.IOR, error) {
+	if key == "" {
+		return nil, fmt.Errorf("orb: activation with empty object key")
+	}
+	if s == nil {
+		return nil, fmt.Errorf("orb: activation of %q with nil servant", key)
+	}
+	host, port, ok := a.orb.Endpoint()
+	if !ok {
+		return nil, fmt.Errorf("orb: activate %q: ORB is not listening yet", key)
+	}
+	a.mu.Lock()
+	if _, exists := a.servants[key]; exists {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("orb: object key %q already active", key)
+	}
+	a.servants[key] = &activation{servant: s, typeID: typeID, qos: info}
+	a.mu.Unlock()
+
+	ref := ior.New(typeID, host, port, []byte(key))
+	if info != nil {
+		ref.SetQoS(*info)
+	}
+	return ref, nil
+}
+
+// Deactivate removes the servant under key.
+func (a *Adapter) Deactivate(key string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.servants, key)
+}
+
+// Resolve finds the servant for an object key.
+func (a *Adapter) Resolve(key string) (Servant, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	act, ok := a.servants[key]
+	if !ok {
+		return nil, false
+	}
+	return act.servant, true
+}
+
+// Reference re-mints the IOR for an active key, or nil if inactive.
+func (a *Adapter) Reference(key string) *ior.IOR {
+	a.mu.RLock()
+	act, ok := a.servants[key]
+	a.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	host, port, bound := a.orb.Endpoint()
+	if !bound {
+		return nil
+	}
+	ref := ior.New(act.typeID, host, port, []byte(key))
+	if act.qos != nil {
+		ref.SetQoS(*act.qos)
+	}
+	return ref
+}
+
+// Keys lists the active object keys.
+func (a *Adapter) Keys() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	keys := make([]string, 0, len(a.servants))
+	for k := range a.servants {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Locate asks the target's server whether the object exists there.
+func (o *ORB) Locate(ctx context.Context, ref *ior.IOR) (bool, error) {
+	conn, err := o.getConn(ref.Profile.Addr())
+	if err != nil {
+		return false, err
+	}
+	st, err := conn.locate(ctx, ref.Profile.ObjectKey)
+	if err != nil {
+		return false, err
+	}
+	return st == giop.LocateObjectHere, nil
+}
+
+// acceptLoop runs per listener.
+func (o *ORB) acceptLoop(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		o.mu.Lock()
+		if o.shutdown {
+			o.mu.Unlock()
+			conn.Close()
+			return
+		}
+		o.serverConns[conn] = struct{}{}
+		o.mu.Unlock()
+
+		o.wg.Add(1)
+		go func() {
+			defer o.wg.Done()
+			o.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn reads requests off one connection and dispatches each in its
+// own goroutine; replies are serialised by a write mutex.
+func (o *ORB) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		o.mu.Lock()
+		delete(o.serverConns, conn)
+		o.mu.Unlock()
+	}()
+	var writeMu sync.Mutex
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+
+	for {
+		msg, err := giop.ReadMessageReassembled(conn)
+		if err != nil {
+			return
+		}
+		switch msg.Type {
+		case giop.MsgRequest:
+			d := msg.Decoder()
+			h, err := giop.UnmarshalRequestHeader(d)
+			if err != nil {
+				o.opts.Logger.Warn("orb: malformed request header", "err", err)
+				_ = giop.WriteMessage(conn, giop.MsgMessageError, o.opts.Order, nil)
+				return
+			}
+			args, err := d.ReadOctets()
+			if err != nil {
+				o.opts.Logger.Warn("orb: malformed request body", "err", err)
+				_ = giop.WriteMessage(conn, giop.MsgMessageError, o.opts.Order, nil)
+				return
+			}
+			argsCopy := append([]byte(nil), args...)
+			handlers.Add(1)
+			go func() {
+				defer handlers.Done()
+				o.handleRequest(conn, &writeMu, msg.Order, h, argsCopy)
+			}()
+		case giop.MsgLocateRequest:
+			d := msg.Decoder()
+			h, err := giop.UnmarshalLocateRequestHeader(d)
+			if err != nil {
+				continue
+			}
+			status := giop.LocateUnknownObject
+			if _, ok := o.adapter.Resolve(string(h.ObjectKey)); ok {
+				status = giop.LocateObjectHere
+			}
+			e := cdr.NewEncoder(o.opts.Order)
+			(&giop.LocateReplyHeader{RequestID: h.RequestID, Status: status}).Marshal(e)
+			writeMu.Lock()
+			_ = giop.WriteMessage(conn, giop.MsgLocateReply, o.opts.Order, e.Bytes())
+			writeMu.Unlock()
+		case giop.MsgCancelRequest:
+			// Dispatch is not interruptible; the cancel is a hint we log.
+			o.opts.Logger.Debug("orb: cancel request received")
+		case giop.MsgCloseConnection:
+			return
+		case giop.MsgMessageError:
+			o.opts.Logger.Warn("orb: peer reported protocol error")
+			return
+		default:
+			o.opts.Logger.Warn("orb: unexpected message on server connection", "type", msg.Type.String())
+		}
+	}
+}
+
+// handleRequest runs one request through filters, command handling or
+// servant dispatch, and writes the reply.
+func (o *ORB) handleRequest(conn net.Conn, writeMu *sync.Mutex, order cdr.ByteOrder, h *giop.RequestHeader, args []byte) {
+	req := &ServerRequest{
+		ObjectKey: h.ObjectKey,
+		Operation: h.Operation,
+		Contexts:  h.Contexts,
+		Args:      args,
+		Order:     order,
+		Out:       cdr.NewEncoder(order),
+		Peer:      conn.RemoteAddr().String(),
+		OneWay:    !h.ResponseExpected,
+	}
+
+	status, body := o.dispatch(req)
+
+	if !h.ResponseExpected {
+		return
+	}
+	e := cdr.NewEncoder(order)
+	rh := giop.ReplyHeader{Contexts: req.OutContexts, RequestID: h.RequestID, Status: status}
+	rh.Marshal(e)
+	e.WriteOctets(body)
+	writeMu.Lock()
+	err := giop.WriteMessageFragmented(conn, giop.MsgReply, order, e.Bytes(), o.opts.MaxFragment)
+	writeMu.Unlock()
+	if err != nil {
+		o.opts.Logger.Warn("orb: writing reply failed", "err", err)
+	}
+}
+
+// dispatch implements the server half of the request path: commands go to
+// the command handler, everything else through filters to the servant.
+func (o *ORB) dispatch(req *ServerRequest) (giop.ReplyStatus, []byte) {
+	// Command-tagged requests bypass filters and the adapter: they are
+	// interpreted by the QoS transport (paper §4).
+	if data, isCommand := req.Contexts.Get(giop.SCCommand); isCommand {
+		o.mu.Lock()
+		handler := o.commandHandler
+		o.mu.Unlock()
+		if handler == nil {
+			return encodeError(req, NewSystemException(ExcNoImplement, 20, "no QoS transport installed"))
+		}
+		target, err := DecodeCommandTarget(data)
+		if err != nil {
+			return encodeError(req, NewSystemException(ExcMarshal, 21, "bad command target: %v", err))
+		}
+		if err := handler.HandleCommand(target, req); err != nil {
+			return encodeError(req, err)
+		}
+		return giop.ReplyNoException, req.Out.Bytes()
+	}
+
+	filters := o.currentFilters()
+	for i, f := range filters {
+		if err := f.Inbound(req); err != nil {
+			return encodeError(req, NewSystemException(ExcInternal, 22, "inbound filter %d: %v", i, err))
+		}
+	}
+
+	status, body := o.invokeServant(req)
+
+	for i := len(filters) - 1; i >= 0; i-- {
+		var err error
+		body, err = filters[i].Outbound(req, status, body)
+		if err != nil {
+			return encodeError(req, NewSystemException(ExcInternal, 23, "outbound filter %d: %v", i, err))
+		}
+	}
+	return status, body
+}
+
+func (o *ORB) invokeServant(req *ServerRequest) (giop.ReplyStatus, []byte) {
+	servant, ok := o.adapter.Resolve(string(req.ObjectKey))
+	if !ok {
+		return encodeError(req, NewSystemException(ExcObjectNotExist, 1, "no servant for key %q", req.ObjectKey))
+	}
+	if err := servant.Invoke(req); err != nil {
+		return encodeError(req, err)
+	}
+	return giop.ReplyNoException, req.Out.Bytes()
+}
+
+// encodeError renders an error as an exceptional reply body.
+func encodeError(req *ServerRequest, err error) (giop.ReplyStatus, []byte) {
+	out := OutcomeFromError(err, req.Order)
+	return out.Status, out.Data
+}
+
+// EncodeCommandTarget builds the SCCommand service context payload
+// addressing the named module (empty string: the transport itself).
+func EncodeCommandTarget(module string) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	end := e.BeginEncapsulation()
+	e.WriteString(module)
+	end()
+	return e.Bytes()
+}
+
+// DecodeCommandTarget parses an SCCommand payload.
+func DecodeCommandTarget(data []byte) (string, error) {
+	d, err := cdr.NewDecoder(data, cdr.BigEndian).BeginEncapsulation()
+	if err != nil {
+		return "", fmt.Errorf("orb: decoding command target: %w", err)
+	}
+	target, err := d.ReadString()
+	if err != nil {
+		return "", fmt.Errorf("orb: decoding command target name: %w", err)
+	}
+	return target, nil
+}

@@ -1,0 +1,223 @@
+package orb
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"maqs/internal/cdr"
+	"maqs/internal/giop"
+	"maqs/internal/ior"
+	"maqs/internal/netsim"
+)
+
+func iorFor(host string, port uint16, key string) *ior.IOR {
+	return ior.New("IDL:test/X:1.0", host, port, []byte(key))
+}
+
+// TestLargePayloadRoundTrip pushes a 4 MiB payload through one call.
+func TestLargePayloadRoundTrip(t *testing.T) {
+	w := newWorld(t)
+	payload := make([]byte, 4<<20)
+	rand.New(rand.NewSource(1)).Read(payload)
+	e := cdr.NewEncoder(w.client.Order())
+	e.WriteOctets(payload)
+	if _, err := w.server.Adapter().Activate("big", "IDL:test/Big:1.0",
+		ServantFunc(func(req *ServerRequest) error {
+			p, err := req.In().ReadOctets()
+			if err != nil {
+				return err
+			}
+			req.Out.WriteOctets(p)
+			return nil
+		})); err != nil {
+		t.Fatal(err)
+	}
+	big := w.ref.Clone()
+	big.Profile.ObjectKey = []byte("big")
+	out, err := w.client.Invoke(context.Background(), &Invocation{
+		Target: big, Operation: "mirror", Args: e.Bytes(), ResponseExpected: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := out.Decoder().ReadOctets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("large payload corrupted")
+	}
+}
+
+// TestManyConcurrentClients hammers one server from several client ORBs.
+func TestManyConcurrentClients(t *testing.T) {
+	n := netsim.NewNetwork()
+	server := New(Options{Transport: n.Host("server")})
+	if err := server.Listen("server:9600"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	ref, err := server.Adapter().Activate("echo", "IDL:test/Echo:1.0", &echoServant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 4
+	const callsPerClient = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*callsPerClient)
+	for c := 0; c < clients; c++ {
+		client := New(Options{Transport: n.Host(fmt.Sprintf("client%d", c))})
+		defer client.Shutdown()
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(client *ORB, id int) {
+				defer wg.Done()
+				for i := 0; i < callsPerClient/4; i++ {
+					msg := fmt.Sprintf("m-%d-%d", id, i)
+					got, err := callEcho(t, client, ref, msg)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if got != msg {
+						errs <- fmt.Errorf("echo %q != %q", got, msg)
+						return
+					}
+				}
+			}(client, c*10+g)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestMalformedRequestBodyTriggersMessageError sends a framed message
+// whose body is not a valid request header; the server must answer with
+// MessageError and close, and the client connection must fail cleanly.
+func TestMalformedRequestBodyTriggersMessageError(t *testing.T) {
+	n := netsim.NewNetwork()
+	server := New(Options{Transport: n.Host("server")})
+	if err := server.Listen("server:9601"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+
+	conn, err := n.DialFrom("attacker", "server:9601")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := giop.WriteMessage(conn, giop.MsgRequest, cdr.BigEndian, []byte{0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := giop.ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != giop.MsgMessageError {
+		t.Fatalf("reply type = %v", msg.Type)
+	}
+}
+
+// TestUnknownMessageTypeIgnored sends a LocateReply to the server (a
+// client-only message); the connection must survive.
+func TestUnknownMessageTypeIgnored(t *testing.T) {
+	w := newWorld(t)
+	conn, err := w.net.DialFrom("odd", "server:9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	e := cdr.NewEncoder(cdr.BigEndian)
+	(&giop.LocateReplyHeader{RequestID: 1, Status: giop.LocateObjectHere}).Marshal(e)
+	if err := giop.WriteMessage(conn, giop.MsgLocateReply, cdr.BigEndian, e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	// A real request on the same connection still works.
+	e = cdr.NewEncoder(cdr.BigEndian)
+	h := giop.RequestHeader{RequestID: 9, ResponseExpected: true,
+		ObjectKey: []byte("echo-1"), Operation: "echo"}
+	h.Marshal(e)
+	arg := cdr.NewEncoder(cdr.BigEndian)
+	arg.WriteString("still alive")
+	e.WriteOctets(arg.Bytes())
+	if err := giop.WriteMessage(conn, giop.MsgRequest, cdr.BigEndian, e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := giop.ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != giop.MsgReply {
+		t.Fatalf("reply type = %v", msg.Type)
+	}
+	d := msg.Decoder()
+	rh, err := giop.UnmarshalReplyHeader(d)
+	if err != nil || rh.RequestID != 9 || rh.Status != giop.ReplyNoException {
+		t.Fatalf("reply header = %+v, %v", rh, err)
+	}
+}
+
+// TestCancelRequestTolerated sends CancelRequest for an unknown id.
+func TestCancelRequestTolerated(t *testing.T) {
+	w := newWorld(t)
+	conn, err := w.net.DialFrom("odd", "server:9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	e := cdr.NewEncoder(cdr.BigEndian)
+	(&giop.CancelRequestHeader{RequestID: 777}).Marshal(e)
+	if err := giop.WriteMessage(conn, giop.MsgCancelRequest, cdr.BigEndian, e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	// Connection still serves requests afterwards.
+	got, err := callEcho(t, w.client, w.ref, "post-cancel")
+	if err != nil || got != "post-cancel" {
+		t.Fatalf("echo = %q, %v", got, err)
+	}
+}
+
+// TestCloseConnectionMessage lets a client observe a server-initiated
+// CloseConnection as a transient error.
+func TestCloseConnectionMessage(t *testing.T) {
+	n := netsim.NewNetwork()
+	// A fake "server" that immediately sends CloseConnection.
+	l, err := n.Listen("fake:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		// Read the request, then wave goodbye.
+		_, _ = giop.ReadMessage(c)
+		_ = giop.WriteMessage(c, giop.MsgCloseConnection, cdr.BigEndian, nil)
+	}()
+	client := New(Options{Transport: n.Host("client")})
+	defer client.Shutdown()
+	ref := iorFor("fake", 1, "whatever")
+	_, err = callEcho(t, client, ref, "x")
+	var sys *SystemException
+	if !errors.As(err, &sys) {
+		t.Fatalf("err = %v", err)
+	}
+	if sys.Name != ExcTransient && sys.Name != ExcCommFailure {
+		t.Fatalf("exception = %v", sys.Name)
+	}
+}

@@ -1,0 +1,91 @@
+package qos
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+
+	"maqs/internal/cdr"
+	"maqs/internal/giop"
+)
+
+// Binding is one live QoS agreement between a client and a server object:
+// the paper's "assignment of a QoS characteristic to the client/server
+// relationship". Its ID tags every request of the relationship.
+type Binding struct {
+	// ID is the opaque binding identifier minted by the server.
+	ID string
+	// Characteristic names the bound QoS characteristic.
+	Characteristic string
+	// Contract holds the negotiated parameter values.
+	Contract *Contract
+	// Module optionally names the transport-layer QoS module assigned to
+	// this binding (paper §4); empty means the plain GIOP/IIOP module.
+	Module string
+}
+
+// newBindingID mints a random binding identifier.
+func newBindingID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable; fall back to a counter
+		// would hide real entropy problems, so panic loudly.
+		panic(fmt.Sprintf("qos: reading random bytes: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// QoSTag is the payload of the SCQoS service context: it marks a request
+// as QoS-aware and names its binding.
+type QoSTag struct {
+	// Characteristic of the binding.
+	Characteristic string
+	// BindingID identifies the agreement.
+	BindingID string
+	// Module names the transport module the request should travel
+	// through (empty: unassigned, use IIOP).
+	Module string
+}
+
+// Encode renders the tag as a service context payload.
+func (t QoSTag) Encode() []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	end := e.BeginEncapsulation()
+	e.WriteString(t.Characteristic)
+	e.WriteString(t.BindingID)
+	e.WriteString(t.Module)
+	end()
+	return e.Bytes()
+}
+
+// DecodeQoSTag parses an SCQoS payload.
+func DecodeQoSTag(data []byte) (QoSTag, error) {
+	d, err := cdr.NewDecoder(data, cdr.BigEndian).BeginEncapsulation()
+	if err != nil {
+		return QoSTag{}, fmt.Errorf("qos: decoding QoS tag: %w", err)
+	}
+	var t QoSTag
+	if t.Characteristic, err = d.ReadString(); err != nil {
+		return QoSTag{}, fmt.Errorf("qos: decoding QoS tag characteristic: %w", err)
+	}
+	if t.BindingID, err = d.ReadString(); err != nil {
+		return QoSTag{}, fmt.Errorf("qos: decoding QoS tag binding: %w", err)
+	}
+	if t.Module, err = d.ReadString(); err != nil {
+		return QoSTag{}, fmt.Errorf("qos: decoding QoS tag module: %w", err)
+	}
+	return t, nil
+}
+
+// TagFromContexts extracts the QoS tag from a service context list.
+func TagFromContexts(contexts giop.ServiceContextList) (QoSTag, bool, error) {
+	data, ok := contexts.Get(giop.SCQoS)
+	if !ok {
+		return QoSTag{}, false, nil
+	}
+	tag, err := DecodeQoSTag(data)
+	if err != nil {
+		return QoSTag{}, false, err
+	}
+	return tag, true, nil
+}

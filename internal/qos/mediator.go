@@ -1,0 +1,73 @@
+package qos
+
+import (
+	"context"
+
+	"maqs/internal/orb"
+)
+
+// Next continues an invocation down the delivery chain (ultimately the
+// ORB's routing layer).
+type Next func(ctx context.Context, inv *orb.Invocation) (*orb.Outcome, error)
+
+// Mediator is the client-side QoS aspect. The paper's QIDL mapping
+// extends the stub with a mediator delegate: every call is intercepted
+// and delegated to the mediator of the bound QoS characteristic, which
+// issues the QoS behaviour on the client side.
+type Mediator interface {
+	// Characteristic names the QoS characteristic this mediator serves.
+	Characteristic() string
+	// PreInvoke runs before the request is handed to the ORB; it may
+	// rewrite the invocation (arguments, contexts, target).
+	PreInvoke(ctx context.Context, inv *orb.Invocation) error
+	// PostInvoke runs before the result is handed back to the client; it
+	// may transform or replace the outcome.
+	PostInvoke(ctx context.Context, inv *orb.Invocation, out *orb.Outcome) (*orb.Outcome, error)
+}
+
+// DeliveryMediator is an optional extension for mediators that take over
+// delivery entirely — replica fan-out and load balancing replace the
+// single send with their own strategies.
+type DeliveryMediator interface {
+	Mediator
+	// Deliver performs the invocation, calling next zero or more times
+	// (possibly with rewritten invocations or different targets).
+	Deliver(ctx context.Context, inv *orb.Invocation, next Next) (*orb.Outcome, error)
+}
+
+// AdaptiveMediator is an optional extension for mediators that react to
+// renegotiated contracts.
+type AdaptiveMediator interface {
+	Mediator
+	// ContractChanged installs the renegotiated contract.
+	ContractChanged(c *Contract) error
+}
+
+// ReleasableMediator is an optional extension for mediators holding
+// resources that must be dropped when the binding is released.
+type ReleasableMediator interface {
+	Mediator
+	// Close releases mediator resources.
+	Close() error
+}
+
+// BaseMediator provides no-op defaults; concrete mediators embed it and
+// override what they need (this is the generated "mediator skeleton" of
+// the paper, §3.3).
+type BaseMediator struct {
+	// Char is the characteristic name reported by Characteristic.
+	Char string
+}
+
+var _ Mediator = (*BaseMediator)(nil)
+
+// Characteristic implements Mediator.
+func (m *BaseMediator) Characteristic() string { return m.Char }
+
+// PreInvoke implements Mediator as a no-op.
+func (m *BaseMediator) PreInvoke(context.Context, *orb.Invocation) error { return nil }
+
+// PostInvoke implements Mediator as a pass-through.
+func (m *BaseMediator) PostInvoke(_ context.Context, _ *orb.Invocation, out *orb.Outcome) (*orb.Outcome, error) {
+	return out, nil
+}

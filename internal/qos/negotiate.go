@@ -1,0 +1,230 @@
+package qos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"maqs/internal/cdr"
+	"maqs/internal/ior"
+	"maqs/internal/orb"
+)
+
+// DecodeNegotiationError extracts a NegotiationError from a user
+// exception, if it is one.
+func DecodeNegotiationError(err error) (*NegotiationError, bool) {
+	var uexc *orb.UserException
+	if !errors.As(err, &uexc) || uexc.RepoID != ExcNegotiationFailed {
+		return nil, false
+	}
+	// The payload is always encoded big-endian (see negotiationFailure).
+	ne, derr := decodeNegotiationPayload(cdr.NewDecoder(uexc.Data, cdr.BigEndian))
+	if derr != nil {
+		return &NegotiationError{Reason: "negotiation failed (payload undecodable)"}, true
+	}
+	return ne, true
+}
+
+func decodeNegotiationPayload(d *cdr.Decoder) (*NegotiationError, error) {
+	char, err := d.ReadString()
+	if err != nil {
+		return nil, err
+	}
+	param, err := d.ReadString()
+	if err != nil {
+		return nil, err
+	}
+	reason, err := d.ReadString()
+	if err != nil {
+		return nil, err
+	}
+	return &NegotiationError{Characteristic: char, Param: param, Reason: reason}, nil
+}
+
+// NegotiateRaw performs the wire-level negotiation with an arbitrary
+// target: it sends the proposal over the plain path and decodes the
+// resulting binding. Mediators that spread one logical relationship over
+// several servers (load balancing, replication) use it to establish their
+// per-server bindings.
+func NegotiateRaw(ctx context.Context, o *orb.ORB, target *ior.IOR, proposal *Proposal) (*Binding, error) {
+	e := cdr.NewEncoder(o.Order())
+	proposal.Marshal(e)
+	out, err := o.Invoke(ctx, &orb.Invocation{
+		Target:           target,
+		Operation:        OpNegotiate,
+		Args:             e.Bytes(),
+		ResponseExpected: true,
+		Order:            o.Order(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := out.Err(); err != nil {
+		if ne, ok := DecodeNegotiationError(err); ok {
+			return nil, ne
+		}
+		return nil, err
+	}
+	d := out.Decoder()
+	id, err := d.ReadString()
+	if err != nil {
+		return nil, fmt.Errorf("qos: decoding binding id: %w", err)
+	}
+	module, err := d.ReadString()
+	if err != nil {
+		return nil, fmt.Errorf("qos: decoding binding module: %w", err)
+	}
+	contract, err := UnmarshalContract(d)
+	if err != nil {
+		return nil, fmt.Errorf("qos: decoding contract: %w", err)
+	}
+	return &Binding{
+		ID:             id,
+		Characteristic: contract.Characteristic,
+		Contract:       contract,
+		Module:         module,
+	}, nil
+}
+
+// ProposalFromContract rebuilds a proposal whose desired values are the
+// agreed values of an existing contract (used to replicate a negotiated
+// agreement onto further servers).
+func ProposalFromContract(c *Contract) *Proposal {
+	p := &Proposal{Characteristic: c.Characteristic}
+	for _, name := range sortedKeys(c.Values) {
+		p.Params = append(p.Params, ParamProposal{Name: name, Desired: c.Values[name]})
+	}
+	return p
+}
+
+// Negotiate establishes a QoS binding for this stub: the proposal is sent
+// over the plain path, the server resolves it against its offer, and on
+// success the registry's mediator for the characteristic is attached to
+// the stub. Any previous binding is released first.
+func (s *Stub) Negotiate(ctx context.Context, proposal *Proposal) (*Binding, error) {
+	if old := s.Binding(); old != nil {
+		if err := s.Release(ctx); err != nil {
+			return nil, fmt.Errorf("qos: releasing previous binding: %w", err)
+		}
+	}
+	binding, err := NegotiateRaw(ctx, s.orb, s.Target(), proposal)
+	if err != nil {
+		return nil, err
+	}
+	mediator, err := s.registry.MediatorFor(s, binding)
+	if err != nil {
+		// Roll the server-side binding back; the agreement cannot be
+		// honoured without its client half.
+		_ = s.releaseID(ctx, binding.ID)
+		return nil, fmt.Errorf("qos: attaching mediator: %w", err)
+	}
+	s.install(binding, mediator)
+	return binding, nil
+}
+
+// Renegotiate adapts the current binding to a new proposal (the paper's
+// QoS adaptation: renegotiation when resource availability changes).
+func (s *Stub) Renegotiate(ctx context.Context, proposal *Proposal) (*Contract, error) {
+	binding := s.Binding()
+	if binding == nil {
+		return nil, fmt.Errorf("qos: renegotiation without a binding")
+	}
+	e := cdr.NewEncoder(s.orb.Order())
+	e.WriteString(binding.ID)
+	proposal.Marshal(e)
+	out, err := s.orb.Invoke(ctx, &orb.Invocation{
+		Target:           s.Target(),
+		Operation:        OpRenegotiate,
+		Args:             e.Bytes(),
+		ResponseExpected: true,
+		Order:            s.orb.Order(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := out.Err(); err != nil {
+		if ne, ok := DecodeNegotiationError(err); ok {
+			return nil, ne
+		}
+		return nil, err
+	}
+	contract, err := UnmarshalContract(out.Decoder())
+	if err != nil {
+		return nil, fmt.Errorf("qos: decoding renegotiated contract: %w", err)
+	}
+
+	s.mu.Lock()
+	s.binding.Contract = contract
+	mediator := s.mediator
+	s.mu.Unlock()
+	if am, ok := mediator.(AdaptiveMediator); ok {
+		if err := am.ContractChanged(contract); err != nil {
+			return nil, fmt.Errorf("qos: mediator rejecting new contract: %w", err)
+		}
+	}
+	return contract, nil
+}
+
+// Release drops the current binding on both sides.
+func (s *Stub) Release(ctx context.Context) error {
+	mediator, binding := s.clearBinding()
+	if rm, ok := mediator.(ReleasableMediator); ok {
+		if err := rm.Close(); err != nil {
+			return fmt.Errorf("qos: closing mediator: %w", err)
+		}
+	}
+	if binding == nil {
+		return nil
+	}
+	return s.releaseID(ctx, binding.ID)
+}
+
+func (s *Stub) releaseID(ctx context.Context, id string) error {
+	e := cdr.NewEncoder(s.orb.Order())
+	e.WriteString(id)
+	out, err := s.orb.Invoke(ctx, &orb.Invocation{
+		Target:           s.Target(),
+		Operation:        OpRelease,
+		Args:             e.Bytes(),
+		ResponseExpected: true,
+		Order:            s.orb.Order(),
+	})
+	if err != nil {
+		return err
+	}
+	return out.Err()
+}
+
+// QueryOffers asks a server object which QoS characteristics it offers
+// and at which parameter ranges (used by clients and the trader).
+func QueryOffers(ctx context.Context, o *orb.ORB, target *ior.IOR) ([]*Offer, error) {
+	out, err := o.Invoke(ctx, &orb.Invocation{
+		Target:           target,
+		Operation:        OpOffers,
+		ResponseExpected: true,
+		Order:            o.Order(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := out.Err(); err != nil {
+		return nil, err
+	}
+	d := out.Decoder()
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, fmt.Errorf("qos: decoding offer count: %w", err)
+	}
+	if n > 256 {
+		return nil, fmt.Errorf("qos: offer count %d exceeds limit", n)
+	}
+	offers := make([]*Offer, 0, n)
+	for i := uint32(0); i < n; i++ {
+		offer, err := UnmarshalOffer(d)
+		if err != nil {
+			return nil, err
+		}
+		offers = append(offers, offer)
+	}
+	return offers, nil
+}

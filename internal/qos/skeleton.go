@@ -1,0 +1,379 @@
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"maqs/internal/cdr"
+	"maqs/internal/orb"
+)
+
+// Reserved operations handled by the server skeleton itself (the
+// negotiation half of the QoS framework's infrastructure services). They
+// travel over the plain path, which is what allows the initial
+// negotiation before any QoS module is assigned.
+const (
+	// OpNegotiate establishes a binding: in Proposal, out (bindingID,
+	// Contract).
+	OpNegotiate = "_qos_negotiate"
+	// OpRenegotiate adapts a binding: in (bindingID, Proposal), out
+	// Contract with incremented epoch.
+	OpRenegotiate = "_qos_renegotiate"
+	// OpRelease drops a binding: in bindingID.
+	OpRelease = "_qos_release"
+	// OpOffers lists the server's offers: out sequence<Offer>.
+	OpOffers = "_qos_offers"
+)
+
+// ServerSkeleton realises the paper's server-side mapping (Fig. 2): it
+// wraps the application servant, holds one QoS implementation per
+// assigned characteristic, and per request either
+//
+//   - answers a framework operation (negotiation family),
+//   - dispatches a QoS operation to the implementation that owns it —
+//     but only when the request's binding negotiated that characteristic,
+//     raising BAD_QOS otherwise, or
+//   - brackets the application operation with the bound implementation's
+//     Prolog and Epilog.
+type ServerSkeleton struct {
+	servant orb.Servant
+
+	mu       sync.RWMutex
+	impls    map[string]Impl   // by characteristic name
+	opOwner  map[string]string // QoS operation → owning characteristic
+	bindings map[string]*Binding
+	admitted map[string]int // live bindings per characteristic
+}
+
+var _ orb.Servant = (*ServerSkeleton)(nil)
+
+// NewServerSkeleton wraps the application servant.
+func NewServerSkeleton(servant orb.Servant) *ServerSkeleton {
+	return &ServerSkeleton{
+		servant:  servant,
+		impls:    make(map[string]Impl),
+		opOwner:  make(map[string]string),
+		bindings: make(map[string]*Binding),
+		admitted: make(map[string]int),
+	}
+}
+
+// AddQoS assigns a QoS implementation to the server ("interface ...
+// supports Characteristic" in QIDL). Operation names must not collide
+// across characteristics.
+func (s *ServerSkeleton) AddQoS(impl Impl) error {
+	desc := impl.Characteristic()
+	if desc == nil || desc.Name == "" {
+		return fmt.Errorf("qos: implementation without characteristic descriptor")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.impls[desc.Name]; dup {
+		return fmt.Errorf("qos: characteristic %q already assigned", desc.Name)
+	}
+	for _, op := range desc.Operations {
+		if owner, taken := s.opOwner[op]; taken {
+			return fmt.Errorf("qos: operation %q of %s collides with characteristic %s", op, desc.Name, owner)
+		}
+	}
+	s.impls[desc.Name] = impl
+	for _, op := range desc.Operations {
+		s.opOwner[op] = desc.Name
+	}
+	return nil
+}
+
+// Characteristics lists the assigned characteristic names.
+func (s *ServerSkeleton) Characteristics() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.impls))
+	for n := range s.impls {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Impl returns the implementation assigned for a characteristic.
+func (s *ServerSkeleton) Impl(characteristic string) (Impl, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	impl, ok := s.impls[characteristic]
+	return impl, ok
+}
+
+// Binding resolves a binding ID.
+func (s *ServerSkeleton) Binding(id string) (*Binding, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.bindings[id]
+	return b, ok
+}
+
+// BindingCount reports live bindings of one characteristic.
+func (s *ServerSkeleton) BindingCount(characteristic string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.admitted[characteristic]
+}
+
+// Invoke implements orb.Servant with the Fig. 2 dispatch.
+func (s *ServerSkeleton) Invoke(req *orb.ServerRequest) error {
+	switch req.Operation {
+	case OpNegotiate:
+		return s.negotiate(req)
+	case OpRenegotiate:
+		return s.renegotiate(req)
+	case OpRelease:
+		return s.release(req)
+	case OpOffers:
+		return s.offers(req)
+	}
+
+	tag, tagged, err := TagFromContexts(req.Contexts)
+	if err != nil {
+		return orb.NewSystemException(orb.ExcMarshal, 41, "malformed QoS tag: %v", err)
+	}
+	var binding *Binding
+	if tagged {
+		s.mu.RLock()
+		binding = s.bindings[tag.BindingID]
+		s.mu.RUnlock()
+		if binding == nil {
+			return orb.NewSystemException(orb.ExcBadQoS, 42, "unknown binding %q", tag.BindingID)
+		}
+	}
+
+	// QoS operations: only those of the actually negotiated
+	// characteristic are processed; others raise an exception (paper
+	// §3.3).
+	s.mu.RLock()
+	owner, isQoSOp := s.opOwner[req.Operation]
+	s.mu.RUnlock()
+	if isQoSOp {
+		if binding == nil {
+			return orb.NewSystemException(orb.ExcBadQoS, 43,
+				"QoS operation %q without a negotiated binding", req.Operation)
+		}
+		if binding.Characteristic != owner {
+			return orb.NewSystemException(orb.ExcBadQoS, 44,
+				"operation %q belongs to %s but the binding negotiated %s",
+				req.Operation, owner, binding.Characteristic)
+		}
+		s.mu.RLock()
+		impl := s.impls[owner]
+		s.mu.RUnlock()
+		return impl.QoSOperation(req, binding)
+	}
+
+	// Application operation, bracketed by prolog and epilog when bound.
+	if binding == nil {
+		return s.servant.Invoke(req)
+	}
+	s.mu.RLock()
+	impl := s.impls[binding.Characteristic]
+	s.mu.RUnlock()
+	if impl == nil {
+		return orb.NewSystemException(orb.ExcBadQoS, 45,
+			"binding %q names unassigned characteristic %s", binding.ID, binding.Characteristic)
+	}
+	if err := impl.Prolog(req, binding); err != nil {
+		return err
+	}
+	invokeErr := s.servant.Invoke(req)
+	if err := impl.Epilog(req, binding, invokeErr); err != nil {
+		return err
+	}
+	return invokeErr
+}
+
+// negotiate implements OpNegotiate.
+func (s *ServerSkeleton) negotiate(req *orb.ServerRequest) error {
+	proposal, err := UnmarshalProposal(req.In())
+	if err != nil {
+		return orb.NewSystemException(orb.ExcMarshal, 46, "bad proposal: %v", err)
+	}
+	s.mu.RLock()
+	impl, ok := s.impls[proposal.Characteristic]
+	s.mu.RUnlock()
+	if !ok {
+		return negotiationFailure(req, &NegotiationError{
+			Characteristic: proposal.Characteristic,
+			Reason:         "characteristic not supported by this object",
+		})
+	}
+	offer := impl.Offer()
+	if offer == nil {
+		return negotiationFailure(req, &NegotiationError{
+			Characteristic: proposal.Characteristic,
+			Reason:         "no current offer",
+		})
+	}
+	contract, err := Resolve(proposal, offer)
+	if err != nil {
+		var negErr *NegotiationError
+		if errors.As(err, &negErr) {
+			return negotiationFailure(req, negErr)
+		}
+		return err
+	}
+
+	s.mu.Lock()
+	if offer.Capacity > 0 && s.admitted[proposal.Characteristic] >= offer.Capacity {
+		s.mu.Unlock()
+		return negotiationFailure(req, &NegotiationError{
+			Characteristic: proposal.Characteristic,
+			Reason:         fmt.Sprintf("capacity %d exhausted", offer.Capacity),
+		})
+	}
+	binding := &Binding{
+		ID:             newBindingID(),
+		Characteristic: proposal.Characteristic,
+		Contract:       contract,
+	}
+	s.bindings[binding.ID] = binding
+	s.admitted[proposal.Characteristic]++
+	s.mu.Unlock()
+
+	if err := impl.BindingUp(binding); err != nil {
+		s.dropBinding(binding.ID)
+		return negotiationFailure(req, &NegotiationError{
+			Characteristic: proposal.Characteristic,
+			Reason:         fmt.Sprintf("admission refused: %v", err),
+		})
+	}
+
+	req.Out.WriteString(binding.ID)
+	req.Out.WriteString(binding.Module)
+	contract.Marshal(req.Out)
+	return nil
+}
+
+// renegotiate implements OpRenegotiate: adaptation of an existing binding
+// with a fresh proposal against the current offer.
+func (s *ServerSkeleton) renegotiate(req *orb.ServerRequest) error {
+	d := req.In()
+	id, err := d.ReadString()
+	if err != nil {
+		return orb.NewSystemException(orb.ExcMarshal, 47, "bad renegotiation: %v", err)
+	}
+	proposal, err := UnmarshalProposal(d)
+	if err != nil {
+		return orb.NewSystemException(orb.ExcMarshal, 47, "bad renegotiation proposal: %v", err)
+	}
+	s.mu.RLock()
+	binding, ok := s.bindings[id]
+	s.mu.RUnlock()
+	if !ok {
+		return orb.NewSystemException(orb.ExcBadQoS, 48, "renegotiation of unknown binding %q", id)
+	}
+	if binding.Characteristic != proposal.Characteristic {
+		return negotiationFailure(req, &NegotiationError{
+			Characteristic: proposal.Characteristic,
+			Reason:         fmt.Sprintf("binding is for %s", binding.Characteristic),
+		})
+	}
+	s.mu.RLock()
+	impl := s.impls[binding.Characteristic]
+	s.mu.RUnlock()
+	offer := impl.Offer()
+	if offer == nil {
+		return negotiationFailure(req, &NegotiationError{
+			Characteristic: proposal.Characteristic,
+			Reason:         "no current offer",
+		})
+	}
+	contract, err := Resolve(proposal, offer)
+	if err != nil {
+		var negErr *NegotiationError
+		if errors.As(err, &negErr) {
+			return negotiationFailure(req, negErr)
+		}
+		return err
+	}
+
+	s.mu.Lock()
+	contract.Epoch = binding.Contract.Epoch + 1
+	old := binding.Contract
+	binding.Contract = contract
+	s.mu.Unlock()
+
+	if err := impl.BindingUp(binding); err != nil {
+		s.mu.Lock()
+		binding.Contract = old
+		s.mu.Unlock()
+		return negotiationFailure(req, &NegotiationError{
+			Characteristic: proposal.Characteristic,
+			Reason:         fmt.Sprintf("adaptation refused: %v", err),
+		})
+	}
+	contract.Marshal(req.Out)
+	return nil
+}
+
+// release implements OpRelease.
+func (s *ServerSkeleton) release(req *orb.ServerRequest) error {
+	id, err := req.In().ReadString()
+	if err != nil {
+		return orb.NewSystemException(orb.ExcMarshal, 49, "bad release: %v", err)
+	}
+	binding, ok := s.dropBinding(id)
+	if !ok {
+		return orb.NewSystemException(orb.ExcBadQoS, 50, "release of unknown binding %q", id)
+	}
+	s.mu.RLock()
+	impl := s.impls[binding.Characteristic]
+	s.mu.RUnlock()
+	if impl != nil {
+		impl.BindingDown(binding)
+	}
+	return nil
+}
+
+func (s *ServerSkeleton) dropBinding(id string) (*Binding, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	binding, ok := s.bindings[id]
+	if !ok {
+		return nil, false
+	}
+	delete(s.bindings, id)
+	if s.admitted[binding.Characteristic] > 0 {
+		s.admitted[binding.Characteristic]--
+	}
+	return binding, true
+}
+
+// offers implements OpOffers.
+func (s *ServerSkeleton) offers(req *orb.ServerRequest) error {
+	s.mu.RLock()
+	impls := make([]Impl, 0, len(s.impls))
+	for _, impl := range s.impls {
+		impls = append(impls, impl)
+	}
+	s.mu.RUnlock()
+	offers := make([]*Offer, 0, len(impls))
+	for _, impl := range impls {
+		if o := impl.Offer(); o != nil {
+			offers = append(offers, o)
+		}
+	}
+	req.Out.WriteULong(uint32(len(offers)))
+	for _, o := range offers {
+		o.Marshal(req.Out)
+	}
+	return nil
+}
+
+// negotiationFailure encodes a NegotiationError as the user exception the
+// client-side Negotiate decodes. The payload is always big-endian because
+// user exception data carries no byte-order marker of its own.
+func negotiationFailure(req *orb.ServerRequest, e *NegotiationError) error {
+	_ = req
+	enc := cdr.NewEncoder(cdr.BigEndian)
+	enc.WriteString(e.Characteristic)
+	enc.WriteString(e.Param)
+	enc.WriteString(e.Reason)
+	return &orb.UserException{RepoID: ExcNegotiationFailed, Data: enc.Bytes()}
+}

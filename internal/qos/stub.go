@@ -1,0 +1,205 @@
+package qos
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"maqs/internal/cdr"
+	"maqs/internal/giop"
+	"maqs/internal/ior"
+	"maqs/internal/orb"
+)
+
+// Observation is one measured invocation, fed to monitors.
+type Observation struct {
+	// Operation invoked.
+	Operation string
+	// RTT is the round-trip time observed at the stub.
+	RTT time.Duration
+	// Err is the invocation's error, including remote exceptions.
+	Err error
+	// ReqBytes and RepBytes are payload sizes (arguments and results).
+	ReqBytes, RepBytes int
+	// At is the completion time.
+	At time.Time
+}
+
+// Observer consumes observations (monitoring probe on the stub).
+type Observer func(Observation)
+
+// Stub is the client-side runtime under every generated stub: it carries
+// the target reference, the current binding and its mediator, and routes
+// each call through the mediator before handing it to the ORB — the
+// paper's "each call is intercepted and delegated to the mediator".
+type Stub struct {
+	orb      *orb.ORB
+	registry *Registry
+
+	mu       sync.RWMutex
+	target   *ior.IOR
+	binding  *Binding
+	mediator Mediator
+	observer Observer
+}
+
+// NewStub wraps a target reference for QoS-capable invocation, using the
+// default characteristic registry.
+func NewStub(o *orb.ORB, target *ior.IOR) *Stub {
+	return NewStubWithRegistry(o, target, DefaultRegistry)
+}
+
+// NewStubWithRegistry wraps a target using an explicit registry.
+func NewStubWithRegistry(o *orb.ORB, target *ior.IOR, r *Registry) *Stub {
+	return &Stub{orb: o, registry: r, target: target}
+}
+
+// ORB returns the stub's broker.
+func (s *Stub) ORB() *orb.ORB { return s.orb }
+
+// Registry returns the stub's characteristic registry.
+func (s *Stub) Registry() *Registry { return s.registry }
+
+// Target returns the current target reference.
+func (s *Stub) Target() *ior.IOR {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.target
+}
+
+// SetTarget redirects the stub (used by location-forwarding mediators).
+func (s *Stub) SetTarget(ref *ior.IOR) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.target = ref
+}
+
+// Binding returns the active binding, or nil.
+func (s *Stub) Binding() *Binding {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.binding
+}
+
+// Mediator returns the active mediator, or nil.
+func (s *Stub) Mediator() Mediator {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mediator
+}
+
+// SetMediator installs a mediator manually (normally Negotiate does this
+// through the registry). A nil mediator detaches QoS behaviour.
+func (s *Stub) SetMediator(m Mediator) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mediator = m
+}
+
+// SetObserver installs a monitoring probe invoked after every call.
+func (s *Stub) SetObserver(o Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observer = o
+}
+
+// install records a fresh binding and its mediator.
+func (s *Stub) install(b *Binding, m Mediator) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.binding = b
+	s.mediator = m
+}
+
+// clearBinding removes binding and mediator.
+func (s *Stub) clearBinding() (Mediator, *Binding) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, b := s.mediator, s.binding
+	s.mediator = nil
+	s.binding = nil
+	return m, b
+}
+
+// Invoke performs one operation through the QoS-aware invocation path:
+// tag the request with the binding, run the mediator's PreInvoke, deliver
+// (through the mediator if it takes over delivery), run PostInvoke, and
+// feed the observer.
+func (s *Stub) Invoke(ctx context.Context, op string, args []byte, oneway bool) (*orb.Outcome, error) {
+	s.mu.RLock()
+	target, binding, mediator, observer := s.target, s.binding, s.mediator, s.observer
+	s.mu.RUnlock()
+
+	inv := &orb.Invocation{
+		Target:           target,
+		Operation:        op,
+		Args:             args,
+		ResponseExpected: !oneway,
+		Order:            s.orb.Order(),
+	}
+	if binding != nil {
+		inv.Contexts = inv.Contexts.With(giop.SCQoS, QoSTag{
+			Characteristic: binding.Characteristic,
+			BindingID:      binding.ID,
+			Module:         binding.Module,
+		}.Encode())
+	}
+
+	start := time.Now()
+	out, err := s.deliver(ctx, inv, mediator)
+	if observer != nil {
+		obs := Observation{
+			Operation: op,
+			RTT:       time.Since(start),
+			ReqBytes:  len(args),
+			At:        time.Now(),
+		}
+		if err != nil {
+			obs.Err = err
+		} else {
+			obs.Err = out.Err()
+			obs.RepBytes = len(out.Data)
+		}
+		observer(obs)
+	}
+	return out, err
+}
+
+func (s *Stub) deliver(ctx context.Context, inv *orb.Invocation, mediator Mediator) (*orb.Outcome, error) {
+	if mediator == nil {
+		return s.orb.Invoke(ctx, inv)
+	}
+	if err := mediator.PreInvoke(ctx, inv); err != nil {
+		return nil, err
+	}
+	var out *orb.Outcome
+	var err error
+	if dm, takesOver := mediator.(DeliveryMediator); takesOver {
+		out, err = dm.Deliver(ctx, inv, s.orb.Invoke)
+	} else {
+		out, err = s.orb.Invoke(ctx, inv)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return mediator.PostInvoke(ctx, inv, out)
+}
+
+// Call is the convenience used by generated stubs: invoke, convert remote
+// exceptions to errors, and return a decoder over the results.
+func (s *Stub) Call(ctx context.Context, op string, args []byte) (*cdr.Decoder, error) {
+	out, err := s.Invoke(ctx, op, args, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := out.Err(); err != nil {
+		return nil, err
+	}
+	return out.Decoder(), nil
+}
+
+// CallOneWay fires a oneway operation.
+func (s *Stub) CallOneWay(ctx context.Context, op string, args []byte) error {
+	_, err := s.Invoke(ctx, op, args, true)
+	return err
+}

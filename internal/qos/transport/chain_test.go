@@ -1,0 +1,259 @@
+package transport_test
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"strings"
+	"testing"
+
+	"maqs/internal/characteristics/compression"
+	"maqs/internal/characteristics/encryption"
+	"maqs/internal/ior"
+	"maqs/internal/netsim"
+	"maqs/internal/orb"
+	"maqs/internal/qos"
+	"maqs/internal/qos/transport"
+)
+
+// zipcryptImpl is a stacked characteristic: compress then encrypt, one
+// binding, one composite module.
+type zipcryptImpl struct {
+	qos.BaseImpl
+}
+
+func newZipcryptImpl() *zipcryptImpl {
+	impl := &zipcryptImpl{}
+	impl.Desc = &qos.Characteristic{Name: "SecureCompression", Category: qos.CategoryPrivacy}
+	impl.Capability = &qos.Offer{
+		Characteristic: "SecureCompression",
+		Params: []qos.ParamOffer{
+			{Name: "level", Kind: qos.KindNumber, Min: 1, Max: 9, Default: qos.Number(6)},
+		},
+	}
+	return impl
+}
+
+func (i *zipcryptImpl) BindingUp(b *qos.Binding) error {
+	b.Module = "zipcrypt"
+	return nil
+}
+
+// docServant serves a highly compressible document.
+type docServant struct{ doc []byte }
+
+func (s *docServant) Invoke(req *orb.ServerRequest) error {
+	switch req.Operation {
+	case "fetch":
+		req.Out.WriteOctets(s.doc)
+		return nil
+	default:
+		return orb.NewSystemException(orb.ExcBadOperation, 1, "no op %q", req.Operation)
+	}
+}
+
+// recorder taps all client-side wire traffic.
+type recorder struct {
+	mu  chan struct{}
+	buf []byte
+}
+
+func newRecorder() *recorder {
+	r := &recorder{mu: make(chan struct{}, 1)}
+	r.mu <- struct{}{}
+	return r
+}
+
+func (r *recorder) add(p []byte) {
+	<-r.mu
+	r.buf = append(r.buf, p...)
+	r.mu <- struct{}{}
+}
+
+func (r *recorder) bytes() []byte {
+	<-r.mu
+	defer func() { r.mu <- struct{}{} }()
+	return append([]byte(nil), r.buf...)
+}
+
+type tapTransport struct {
+	inner netsim.Transport
+	rec   *recorder
+}
+
+func (t *tapTransport) Dial(addr string) (net.Conn, error) {
+	c, err := t.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tapConn{Conn: c, rec: t.rec}, nil
+}
+
+func (t *tapTransport) Listen(addr string) (net.Listener, error) { return t.inner.Listen(addr) }
+
+type tapConn struct {
+	net.Conn
+	rec *recorder
+}
+
+func (c *tapConn) Write(p []byte) (int, error) {
+	c.rec.add(p)
+	return c.Conn.Write(p)
+}
+
+func (c *tapConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.rec.add(p[:n])
+	}
+	return n, err
+}
+
+func setupChainSide(t *testing.T, tr *transport.Transport) {
+	t.Helper()
+	if err := compression.RegisterModule(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := encryption.RegisterModule(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.RegisterChain("zipcrypt", compression.ModuleName, encryption.ModuleName); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Load("zipcrypt", map[string]string{"min_size": "0"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainCompressThenEncryptEndToEnd(t *testing.T) {
+	n := netsim.NewNetwork()
+	server := orb.New(orb.Options{Transport: n.Host("server")})
+	if err := server.Listen("server:8800"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	st := transport.Install(server)
+	setupChainSide(t, st)
+
+	doc := bytes.Repeat([]byte("TOPSECRET battle plans, section %d: advance at dawn. "), 200)
+	skel := qos.NewServerSkeleton(&docServant{doc: doc})
+	if err := skel.AddQoS(newZipcryptImpl()); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := server.Adapter().ActivateQoS("doc", "IDL:test/Doc:1.0", skel,
+		ior.QoSInfo{Characteristics: []string{"SecureCompression"}, Modules: []string{"zipcrypt"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := newRecorder()
+	client := orb.New(orb.Options{Transport: &tapTransport{inner: n.Host("client"), rec: rec}})
+	defer client.Shutdown()
+	ct := transport.Install(client)
+	setupChainSide(t, ct)
+
+	registry := qos.NewRegistry()
+	if err := registry.Register(&qos.Characteristic{Name: "SecureCompression"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	stub := qos.NewStubWithRegistry(client, ref, registry)
+	binding, err := stub.Negotiate(context.Background(), &qos.Proposal{Characteristic: "SecureCompression"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binding.Module != "zipcrypt" {
+		t.Fatalf("module = %q", binding.Module)
+	}
+
+	d, err := stub.Call(context.Background(), "fetch", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadOctets()
+	if err != nil || !bytes.Equal(got, doc) {
+		t.Fatalf("document corrupted: %d bytes, %v", len(got), err)
+	}
+
+	// Privacy: the plaintext never crossed the wire.
+	if bytes.Contains(rec.bytes(), []byte("TOPSECRET")) {
+		t.Fatal("plaintext on the wire")
+	}
+	// Compression happened before encryption: the server-side flate
+	// module compressed the reply, and the total bytes on the wire are
+	// far below the document size (encrypted-but-uncompressed would be
+	// ≥ len(doc)).
+	cm, _ := st.Module(compression.ModuleName)
+	stats := cm.(*compression.Module).Stats()
+	if stats.Compressed == 0 || stats.WireBytes >= stats.RawBytes {
+		t.Fatalf("flate stats = %+v", stats)
+	}
+	if wire := len(rec.bytes()); wire >= len(doc) {
+		t.Fatalf("wire bytes %d not smaller than document %d — compression lost under encryption", wire, len(doc))
+	}
+	// Encryption happened too.
+	em, _ := ct.Module(encryption.ModuleName)
+	if es := em.(*encryption.Module).Stats(); es.Sealed == 0 || es.Handshakes != 1 {
+		t.Fatalf("secure stats = %+v", es)
+	}
+}
+
+func TestChainMembersViaDynamicInterface(t *testing.T) {
+	n := netsim.NewNetwork()
+	server := orb.New(orb.Options{Transport: n.Host("server")})
+	if err := server.Listen("server:8801"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	st := transport.Install(server)
+	setupChainSide(t, st)
+	ref, err := server.Adapter().Activate("anchor", "IDL:test/X:1.0", &docServant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := orb.New(orb.Options{Transport: n.Host("client")})
+	defer client.Shutdown()
+	ctl := transport.NewController(client, ref)
+	d, err := ctl.ModuleCommand(context.Background(), "zipcrypt", "chain_members", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := d.ReadULong()
+	if err != nil || k != 2 {
+		t.Fatalf("members = %d, %v", k, err)
+	}
+	first, _ := d.ReadString()
+	second, _ := d.ReadString()
+	if first != compression.ModuleName || second != encryption.ModuleName {
+		t.Fatalf("members = %s, %s", first, second)
+	}
+	// Loading the chain loaded its members too.
+	mods, err := ctl.List(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mods) != 3 || strings.Join(mods, ",") != "flate,secure,zipcrypt" {
+		t.Fatalf("loaded = %v", mods)
+	}
+}
+
+func TestChainValidation(t *testing.T) {
+	if _, err := transport.NewChain(""); err == nil {
+		t.Fatal("nameless chain accepted")
+	}
+	if _, err := transport.NewChain("x"); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+	n := netsim.NewNetwork()
+	o := orb.New(orb.Options{Transport: n})
+	defer o.Shutdown()
+	tr := transport.Install(o)
+	if err := tr.RegisterChain("empty"); err == nil {
+		t.Fatal("memberless chain registered")
+	}
+	if err := tr.RegisterChain("broken", "no-such-module"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Load("broken", nil); err == nil {
+		t.Fatal("chain with unknown member loaded")
+	}
+}

@@ -1,0 +1,256 @@
+// Package maqs is the public face of this MAQS reproduction: a generic,
+// multi-category Quality-of-Service management framework for
+// object-oriented middleware, after C. Becker and K. Geihs, "Quality of
+// Service and Object-Oriented Middleware — Multiple Concerns and their
+// Separation" (ICDCS 2001 workshops).
+//
+// The package re-exports the framework's building blocks and offers
+// System, a convenience bundle wiring an ORB, its reflective QoS
+// transport and a characteristic registry preloaded with the five
+// characteristics of the paper's evaluation (availability through replica
+// groups, load balancing, compression, encryption, actuality of data).
+//
+// A minimal QoS-enabled service:
+//
+//	sys, _ := maqs.NewSystem(maqs.Options{})
+//	_ = sys.Listen("127.0.0.1:0")
+//	skel := maqs.NewServerSkeleton(servant)
+//	_ = skel.AddQoS(compressionImpl)
+//	ref, _ := sys.ActivateQoS("svc", "IDL:demo/Svc:1.0", skel, info)
+//
+// and a client:
+//
+//	sys, _ := maqs.NewSystem(maqs.Options{})
+//	stub := sys.Stub(ref)
+//	binding, _ := stub.Negotiate(ctx, &maqs.Proposal{Characteristic: "Compression"})
+//	out, _ := stub.Call(ctx, "fetch", args)
+package maqs
+
+import (
+	"fmt"
+	"log/slog"
+	"time"
+
+	"maqs/internal/characteristics/actuality"
+	"maqs/internal/characteristics/compression"
+	"maqs/internal/characteristics/encryption"
+	"maqs/internal/characteristics/loadbalance"
+	"maqs/internal/characteristics/replication"
+	"maqs/internal/ior"
+	"maqs/internal/netsim"
+	"maqs/internal/orb"
+	"maqs/internal/qos"
+	"maqs/internal/qos/transport"
+)
+
+// Re-exported core types. The aliases make the framework usable without
+// reaching into internal packages.
+type (
+	// ORB is the object request broker.
+	ORB = orb.ORB
+	// IOR is an interoperable object reference.
+	IOR = ior.IOR
+	// QoSInfo advertises QoS capabilities inside an IOR.
+	QoSInfo = ior.QoSInfo
+	// Servant handles incoming requests.
+	Servant = orb.Servant
+	// ServerRequest is a request under dispatch.
+	ServerRequest = orb.ServerRequest
+	// Invocation is a client-side request.
+	Invocation = orb.Invocation
+	// Outcome is the result of an invocation.
+	Outcome = orb.Outcome
+	// SystemException is a broker-level failure.
+	SystemException = orb.SystemException
+	// UserException is an application-declared exception.
+	UserException = orb.UserException
+
+	// Stub is the QoS-aware client-side runtime.
+	Stub = qos.Stub
+	// Binding is a live QoS agreement.
+	Binding = qos.Binding
+	// Contract holds negotiated parameter values.
+	Contract = qos.Contract
+	// Proposal is a client's negotiation request.
+	Proposal = qos.Proposal
+	// ParamProposal is one requested parameter.
+	ParamProposal = qos.ParamProposal
+	// Offer is a server's capability statement.
+	Offer = qos.Offer
+	// ParamOffer is one offered parameter capability.
+	ParamOffer = qos.ParamOffer
+	// Value is a QoS parameter value.
+	Value = qos.Value
+	// Characteristic describes a QoS characteristic.
+	Characteristic = qos.Characteristic
+	// Mediator is the client-side QoS aspect.
+	Mediator = qos.Mediator
+	// Impl is the server-side QoS implementation.
+	Impl = qos.Impl
+	// ServerSkeleton wires QoS implementations around a servant.
+	ServerSkeleton = qos.ServerSkeleton
+	// Registry maps characteristic names to descriptors and mediators.
+	Registry = qos.Registry
+	// Monitor measures invocations.
+	Monitor = qos.Monitor
+	// Observation is one measured invocation.
+	Observation = qos.Observation
+
+	// Transport is the reflective QoS transport of an ORB.
+	Transport = transport.Transport
+	// Module is a transport-layer QoS module.
+	Module = transport.Module
+
+	// Network is the simulated network used for testing and experiments.
+	Network = netsim.Network
+	// Link describes simulated link characteristics.
+	Link = netsim.Link
+)
+
+// Value constructors for proposals and contracts.
+var (
+	// Number wraps a numeric parameter value.
+	Number = qos.Number
+	// Text wraps a string parameter value.
+	Text = qos.Text
+	// Flag wraps a boolean parameter value.
+	Flag = qos.Flag
+	// NewNetwork constructs a simulated network.
+	NewNetwork = netsim.NewNetwork
+	// NewMonitor constructs an invocation monitor.
+	NewMonitor = qos.NewMonitor
+	// NewServerSkeleton wraps an application servant for QoS weaving.
+	NewServerSkeleton = qos.NewServerSkeleton
+	// ParseIOR parses a stringified object reference.
+	ParseIOR = ior.Parse
+)
+
+// Value kinds for ParamOffer declarations.
+const (
+	// KindNumber marks numeric parameters.
+	KindNumber = qos.KindNumber
+	// KindString marks string parameters.
+	KindString = qos.KindString
+	// KindBool marks boolean parameters.
+	KindBool = qos.KindBool
+)
+
+// Names of the standard characteristics (the paper's evaluation set).
+const (
+	// Availability masks server crashes with replica groups.
+	Availability = replication.Name
+	// LoadBalancing spreads load over worker groups.
+	LoadBalancing = loadbalance.Name
+	// Compression shrinks payloads for small-bandwidth channels.
+	Compression = compression.Name
+	// Encryption protects payload privacy.
+	Encryption = encryption.Name
+	// Actuality bounds the staleness of results.
+	Actuality = actuality.Name
+)
+
+// Options configures a System.
+type Options struct {
+	// Transport supplies dialing and listening; defaults to TCP. Use a
+	// *Network (or Network.Host) for simulated deployments.
+	Transport netsim.Transport
+	// RequestTimeout bounds synchronous invocations (default 10s).
+	RequestTimeout time.Duration
+	// Logger receives diagnostics (default: discard).
+	Logger *slog.Logger
+	// SkipStandardCharacteristics leaves the registry empty; register
+	// characteristics explicitly afterwards.
+	SkipStandardCharacteristics bool
+	// SkipStandardModules leaves the QoS transport without the standard
+	// module factories (flate, secure).
+	SkipStandardModules bool
+}
+
+// System bundles one ORB with its QoS transport and characteristic
+// registry: everything one process needs to act as a MAQS client, server
+// or both.
+type System struct {
+	// ORB is the underlying broker.
+	ORB *orb.ORB
+	// Transport is the reflective QoS transport installed on the ORB.
+	Transport *transport.Transport
+	// Registry holds the registered QoS characteristics.
+	Registry *qos.Registry
+}
+
+// NewSystem builds a System: ORB, QoS transport (router + command
+// handler + filters installed), and a registry preloaded with the
+// standard characteristics unless disabled.
+func NewSystem(opts Options) (*System, error) {
+	o := orb.New(orb.Options{
+		Transport:      opts.Transport,
+		RequestTimeout: opts.RequestTimeout,
+		Logger:         opts.Logger,
+	})
+	t := transport.Install(o)
+	registry := qos.NewRegistry()
+	sys := &System{ORB: o, Transport: t, Registry: registry}
+	if !opts.SkipStandardModules {
+		if err := compression.RegisterModule(t); err != nil {
+			return nil, fmt.Errorf("maqs: %w", err)
+		}
+		if err := encryption.RegisterModule(t); err != nil {
+			return nil, fmt.Errorf("maqs: %w", err)
+		}
+	}
+	if !opts.SkipStandardCharacteristics {
+		for _, register := range []func(*qos.Registry) error{
+			replication.Register,
+			loadbalance.Register,
+			compression.Register,
+			encryption.Register,
+			actuality.Register,
+		} {
+			if err := register(registry); err != nil {
+				return nil, fmt.Errorf("maqs: %w", err)
+			}
+		}
+	}
+	return sys, nil
+}
+
+// Listen binds the server side of the system.
+func (s *System) Listen(addr string) error { return s.ORB.Listen(addr) }
+
+// Shutdown stops the system.
+func (s *System) Shutdown() { s.ORB.Shutdown() }
+
+// Activate registers a servant and returns its reference.
+func (s *System) Activate(key, typeID string, servant orb.Servant) (*ior.IOR, error) {
+	return s.ORB.Adapter().Activate(key, typeID, servant)
+}
+
+// ActivateQoS registers a QoS-aware servant; the reference advertises the
+// supported characteristics and modules.
+func (s *System) ActivateQoS(key, typeID string, servant orb.Servant, info ior.QoSInfo) (*ior.IOR, error) {
+	return s.ORB.Adapter().ActivateQoS(key, typeID, servant, info)
+}
+
+// Stub wraps a reference for QoS-aware invocation against this system's
+// registry.
+func (s *System) Stub(ref *ior.IOR) *qos.Stub {
+	return qos.NewStubWithRegistry(s.ORB, ref, s.Registry)
+}
+
+// LoadModule loads a QoS transport module locally (both peers of a
+// module-backed characteristic must load it).
+func (s *System) LoadModule(name string, config map[string]string) error {
+	return s.Transport.Load(name, config)
+}
+
+// StandardModules maps characteristic names to the transport module each
+// one needs (empty for purely application-layer characteristics).
+func StandardModules() map[string]string {
+	return map[string]string{
+		Availability:  "",
+		LoadBalancing: "",
+		Compression:   compression.ModuleName,
+		Encryption:    encryption.ModuleName,
+		Actuality:     "",
+	}
+}
