@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all check vet build test race bench clean
+
+all: check
+
+# check is the full gate: vet, build everything, race-enabled tests.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=200ms -run='^$$' .
+
+clean:
+	$(GO) clean ./...

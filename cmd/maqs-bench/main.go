@@ -7,16 +7,28 @@
 //	maqs-bench           # run every experiment
 //	maqs-bench E3 E5     # run selected experiments
 //	maqs-bench -list     # list experiments
+//	maqs-bench -metrics  # run an instrumented demo world, dump JSON
+//
+// With -metrics, instead of the experiment tables the bench runs a small
+// fully instrumented client/server world (negotiation, compressed calls,
+// renegotiation, release) sharing one observability bundle, and prints
+// its JSON snapshot: metric values, per-operation span aggregates and
+// the recorded spans themselves.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"maqs"
+	"maqs/internal/characteristics/compression"
 	"maqs/internal/experiments"
+	"maqs/internal/orb"
 )
 
 func main() {
@@ -26,8 +38,16 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("maqs-bench", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list experiments and exit")
+	metrics := fs.Bool("metrics", false, "run an instrumented demo world and dump its observability snapshot as JSON")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *metrics {
+		if err := runMetricsDemo(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics demo failed: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 	all := experiments.All()
 	if *list {
@@ -67,4 +87,100 @@ func run(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// runMetricsDemo exercises the full instrumented invocation path on a
+// simulated network — negotiation, QoS-module calls, renegotiation,
+// release — with client and server sharing one observability bundle, so
+// the collector holds complete client→server traces. The bundle's JSON
+// snapshot goes to w.
+func runMetricsDemo(w *os.File) error {
+	bundle := maqs.NewObservability()
+	network := maqs.NewNetwork()
+
+	server, err := maqs.NewSystem(maqs.Options{
+		Transport:     network.Host("server"),
+		Observability: bundle,
+	})
+	if err != nil {
+		return err
+	}
+	defer server.Shutdown()
+	client, err := maqs.NewSystem(maqs.Options{
+		Transport:     network.Host("client"),
+		Observability: bundle,
+	})
+	if err != nil {
+		return err
+	}
+	defer client.Shutdown()
+
+	if err := server.Listen("server:5000"); err != nil {
+		return err
+	}
+	for _, sys := range []*maqs.System{server, client} {
+		if err := sys.LoadModule(compression.ModuleName, nil); err != nil {
+			return err
+		}
+	}
+
+	doc := bytes.Repeat([]byte("metrics demo payload, quite compressible. "), 100)
+	skel := maqs.NewServerSkeleton(orb.ServantFunc(func(req *maqs.ServerRequest) error {
+		switch req.Operation {
+		case "fetch":
+			req.Out.WriteOctets(doc)
+			return nil
+		default:
+			return orb.NewSystemException(orb.ExcBadOperation, 1, "no op %q", req.Operation)
+		}
+	}))
+	if err := skel.AddQoS(compression.NewImpl(0)); err != nil {
+		return err
+	}
+	ref, err := server.ActivateQoS("doc", "IDL:demo/Doc:1.0", skel, maqs.QoSInfo{
+		Characteristics: []string{maqs.Compression},
+		Modules:         []string{compression.ModuleName},
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	stub := client.Stub(ref)
+	mon := maqs.NewMonitor(32)
+	mon.Publish(bundle.Registry, "")
+	stub.AddObserver(mon.Observe)
+
+	if _, err := stub.Negotiate(ctx, &maqs.Proposal{
+		Characteristic: maqs.Compression,
+		Params:         []maqs.ParamProposal{{Name: "level", Desired: maqs.Number(6)}},
+	}); err != nil {
+		return err
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := stub.Call(ctx, "fetch", nil); err != nil {
+			return err
+		}
+	}
+	if _, err := stub.Renegotiate(ctx, &maqs.Proposal{
+		Characteristic: maqs.Compression,
+		Params:         []maqs.ParamProposal{{Name: "level", Desired: maqs.Number(9)}},
+	}); err != nil {
+		return err
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := stub.Call(ctx, "fetch", nil); err != nil {
+			return err
+		}
+	}
+	if err := stub.Release(ctx); err != nil {
+		return err
+	}
+
+	data, err := bundle.SnapshotJSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
 }

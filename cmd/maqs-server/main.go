@@ -6,14 +6,21 @@
 //
 // Usage:
 //
-//	maqs-server [-addr 127.0.0.1:9700]
+//	maqs-server [-addr 127.0.0.1:9700] [-debug 127.0.0.1:9780]
+//
+// With -debug, an HTTP endpoint exposes /metrics (text or ?format=json),
+// /trace (recent spans, ?trace=<id> to filter) and /trace/ops
+// (per-operation aggregates) for the instrumented invocation path.
 //
 // Inspect the printed references with ior-dump; stop with ctrl-C.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -75,9 +82,14 @@ func main() {
 
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:9700", "listen address (host:port)")
+	debug := flag.String("debug", "", "HTTP debug address serving /metrics and /trace (empty: disabled)")
 	flag.Parse()
 
-	sys, err := maqs.NewSystem(maqs.Options{})
+	opts := maqs.Options{}
+	if *debug != "" {
+		opts.Observability = maqs.NewObservability()
+	}
+	sys, err := maqs.NewSystem(opts)
 	if err != nil {
 		return err
 	}
@@ -127,6 +139,17 @@ func run() error {
 		Properties:  map[string]string{"host": *addr, "demo": "true"},
 	})
 
+	var debugSrv *http.Server
+	if *debug != "" {
+		ln, err := net.Listen("tcp", *debug)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		debugSrv = &http.Server{Handler: sys.Observability.Handler()}
+		go func() { _ = debugSrv.Serve(ln) }()
+		fmt.Printf("debug endpoint on http://%s/ (/metrics, /trace, /trace/ops)\n\n", ln.Addr())
+	}
+
 	fmt.Printf("maqs-server listening on %s\n\n", *addr)
 	fmt.Printf("demo object (Compression, Encryption, Actuality):\n%s\n\n", ref)
 	fmt.Printf("trader:\n%s\n\n", traderRef)
@@ -135,6 +158,12 @@ func run() error {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
+
+	if debugSrv != nil {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = debugSrv.Shutdown(shutdownCtx)
+		cancel()
+	}
 
 	fmt.Println("\naccounting statements:")
 	for _, s := range meter.Statements() {

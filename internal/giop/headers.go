@@ -21,6 +21,10 @@ const (
 	// SCModule names the QoS module a service request must be delivered
 	// through. Payload: string module name.
 	SCModule uint32 = 0x4D515303
+	// SCTrace carries distributed trace context. Payload: the ASCII W3C
+	// traceparent rendering of the sending span ("00-<trace>-<span>-<flags>",
+	// see internal/obs), not CDR-encapsulated.
+	SCTrace uint32 = 0x4D515304
 )
 
 // ServiceContext is an identified blob attached to request and reply

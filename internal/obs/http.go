@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the debug endpoints over the bundle:
+//
+//	/metrics            text exposition of the registry
+//	/metrics?format=json  the same as JSON
+//	/trace              retained spans as JSON, oldest first
+//	/trace?trace=<id>   one trace's spans, ordered by start time
+//	/trace/ops          per-operation span aggregation as JSON
+//
+// Mount it on any mux or serve it directly (cmd/maqs-server does).
+func (o *Observability) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := o.Registry.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = snap.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = snap.WriteText(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		var spans []SpanRecord
+		if id := r.URL.Query().Get("trace"); id != "" {
+			spans = o.Collector.Trace(id)
+		} else {
+			spans = o.Collector.Snapshot()
+		}
+		writeJSON(w, spans)
+	})
+	mux.HandleFunc("/trace/ops", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, o.Collector.Operations())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		_, _ = w.Write([]byte("maqs observability\n\n/metrics\n/metrics?format=json\n/trace\n/trace?trace=<id>\n/trace/ops\n"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,55 @@
+package obs
+
+import "encoding/json"
+
+// Observability bundles the three cooperating pieces — metrics registry,
+// span collector and tracer — that an ORB (or a whole System) shares.
+// A nil *Observability disables everything at zero cost.
+type Observability struct {
+	// Registry holds the process's metric instruments.
+	Registry *Registry
+	// Collector retains finished spans.
+	Collector *Collector
+	// Tracer mints spans into Collector.
+	Tracer *Tracer
+}
+
+// New constructs an enabled bundle with a default-capacity collector.
+func New() *Observability { return NewWithCapacity(0) }
+
+// NewWithCapacity constructs a bundle whose collector retains up to
+// spanCapacity spans (DefaultSpanCapacity when non-positive).
+func NewWithCapacity(spanCapacity int) *Observability {
+	c := NewCollector(spanCapacity)
+	return &Observability{
+		Registry:  NewRegistry(),
+		Collector: c,
+		Tracer:    NewTracer(c),
+	}
+}
+
+// BundleSnapshot is the full JSON export: metrics, per-operation span
+// aggregation, and retained spans.
+type BundleSnapshot struct {
+	Metrics    Snapshot           `json:"metrics"`
+	Operations map[string]OpStats `json:"operations"`
+	Spans      []SpanRecord       `json:"spans"`
+}
+
+// Snapshot captures registry and collector state together.
+func (o *Observability) Snapshot() BundleSnapshot {
+	var b BundleSnapshot
+	if o == nil {
+		b.Operations = map[string]OpStats{}
+		return b
+	}
+	b.Metrics = o.Registry.Snapshot()
+	b.Operations = o.Collector.Operations()
+	b.Spans = o.Collector.Snapshot()
+	return b
+}
+
+// SnapshotJSON renders the full bundle snapshot as indented JSON.
+func (o *Observability) SnapshotJSON() ([]byte, error) {
+	return json.MarshalIndent(o.Snapshot(), "", "  ")
+}

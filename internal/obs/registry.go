@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero-value methods on
+// a nil *Counter are no-ops, so callers holding an instrument from an
+// absent registry need no branching.
+type Counter struct {
+	name string
+	v    atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down (live bindings, loaded
+// modules, queue depths). Nil-safe like Counter.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set stores an absolute value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add shifts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value reads the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultLatencyBuckets are the fixed histogram bounds (seconds) used for
+// round-trip and dispatch latency when no explicit bounds are given. They
+// span in-memory netsim calls (tens of microseconds) up to WAN timeouts.
+var DefaultLatencyBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations are single
+// atomic increments (bucket + count + sum); bounds are immutable after
+// construction. Nil-safe like Counter.
+type Histogram struct {
+	name     string
+	bounds   []float64 // upper bounds in seconds, ascending
+	buckets  []atomic.Uint64
+	count    atomic.Uint64
+	sumNanos atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	secs := d.Seconds()
+	// Linear scan beats binary search for <=16 buckets and branch
+	// predicts well since most observations land in the early buckets.
+	i := 0
+	for i < len(h.bounds) && secs > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// Count reads the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// BucketCount is one cumulative histogram bucket in a snapshot.
+type BucketCount struct {
+	// UpperBound is the inclusive upper bound in seconds; +Inf for the
+	// overflow bucket (rendered as "+Inf" in text, omitted in JSON).
+	UpperBound float64 `json:"le"`
+	// Count is cumulative: observations less than or equal to UpperBound.
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a consistent-enough view of one histogram (buckets
+// are read without a global lock; totals may trail by an observation).
+type HistogramSnapshot struct {
+	Name    string        `json:"name"`
+	Count   uint64        `json:"count"`
+	Sum     float64       `json:"sum_seconds"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// Snapshot captures the registry's state for export.
+type Snapshot struct {
+	Counters   map[string]uint64   `json:"counters"`
+	Gauges     map[string]int64    `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// Registry is the process-wide metrics registry. Instruments are created
+// on first use and live forever; the hot path (instrument updates) is
+// lock-free, and instrument lookup uses sync.Map so steady-state reads
+// take no lock either.
+type Registry struct {
+	counters   sync.Map // string -> *Counter
+	gauges     sync.Map // string -> *Gauge
+	histograms sync.Map // string -> *Histogram
+}
+
+// NewRegistry constructs an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the named counter, creating it on first use. On a nil
+// registry it returns nil, which is a valid no-op instrument.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.counters.Load(name); ok {
+		return v.(*Counter)
+	}
+	v, _ := r.counters.LoadOrStore(name, &Counter{name: name})
+	return v.(*Counter)
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.gauges.Load(name); ok {
+		return v.(*Gauge)
+	}
+	v, _ := r.gauges.LoadOrStore(name, &Gauge{name: name})
+	return v.(*Gauge)
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds (DefaultLatencyBuckets when bounds is nil) on first use. Bounds
+// of an existing histogram are not changed.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.histograms.Load(name); ok {
+		return v.(*Histogram)
+	}
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	h := &Histogram{
+		name:    name,
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+	v, _ := r.histograms.LoadOrStore(name, h)
+	return v.(*Histogram)
+}
+
+// Snapshot captures all instruments.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Counters: map[string]uint64{}, Gauges: map[string]int64{}}
+	if r == nil {
+		return s
+	}
+	r.counters.Range(func(k, v any) bool {
+		s.Counters[k.(string)] = v.(*Counter).Value()
+		return true
+	})
+	r.gauges.Range(func(k, v any) bool {
+		s.Gauges[k.(string)] = v.(*Gauge).Value()
+		return true
+	})
+	r.histograms.Range(func(_, v any) bool {
+		h := v.(*Histogram)
+		hs := HistogramSnapshot{
+			Name:    h.name,
+			Count:   h.count.Load(),
+			Sum:     time.Duration(h.sumNanos.Load()).Seconds(),
+			Buckets: make([]BucketCount, 0, len(h.bounds)+1),
+		}
+		var cum uint64
+		for i := range h.buckets {
+			cum += h.buckets[i].Load()
+			bound := infBound
+			if i < len(h.bounds) {
+				bound = h.bounds[i]
+			}
+			hs.Buckets = append(hs.Buckets, BucketCount{UpperBound: bound, Count: cum})
+		}
+		s.Histograms = append(s.Histograms, hs)
+		return true
+	})
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// infBound stands in for +Inf in snapshots so the JSON encoding stays
+// valid (encoding/json rejects IEEE infinities).
+const infBound = float64(1 << 62)
+
+// WriteText renders the snapshot in a Prometheus-style text exposition.
+func (s Snapshot) WriteText(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", n, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", n, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		for _, b := range h.Buckets {
+			le := "+Inf"
+			if b.UpperBound != infBound {
+				le = fmt.Sprintf("%g", b.UpperBound)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.Name, le, b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", h.Name, h.Sum, h.Name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/hex"
+	"math/rand/v2"
+)
+
+// TraceID identifies one end-to-end invocation across processes.
+type TraceID [16]byte
+
+// IsZero reports the invalid all-zero trace ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// SpanID identifies one stage within a trace.
+type SpanID [8]byte
+
+// IsZero reports the invalid all-zero span ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// SpanContext is the propagated part of a span: what travels inside the
+// GIOP service context from caller to callee.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// Valid reports whether the context identifies a real span.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// traceparentLen is the length of a version-00 traceparent:
+// "00-" + 32 + "-" + 16 + "-" + 2.
+const traceparentLen = 55
+
+// Traceparent renders the context in the W3C traceparent format,
+// version 00: "00-<trace-id>-<parent-id>-<trace-flags>". The returned
+// bytes are the payload of the giop.SCTrace service context.
+func (sc SpanContext) Traceparent() []byte {
+	b := make([]byte, 0, traceparentLen)
+	b = append(b, '0', '0', '-')
+	b = hex.AppendEncode(b, sc.TraceID[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, sc.SpanID[:])
+	b = append(b, '-', '0')
+	if sc.Sampled {
+		b = append(b, '1')
+	} else {
+		b = append(b, '0')
+	}
+	return b
+}
+
+// ParseTraceparent decodes a traceparent payload. It accepts any version
+// whose field layout matches version 00 (per the W3C forward-compat
+// rule: longer payloads with the same prefix layout are tolerated) and
+// rejects malformed or all-zero IDs.
+func ParseTraceparent(data []byte) (SpanContext, bool) {
+	if len(data) < traceparentLen {
+		return SpanContext{}, false
+	}
+	if data[2] != '-' || data[35] != '-' || data[52] != '-' {
+		return SpanContext{}, false
+	}
+	if data[0] == 'f' && data[1] == 'f' { // version 0xff is forbidden
+		return SpanContext{}, false
+	}
+	if len(data) > traceparentLen && data[traceparentLen] != '-' {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if _, err := hex.Decode(sc.TraceID[:], data[3:35]); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], data[36:52]); err != nil {
+		return SpanContext{}, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], data[53:55]); err != nil {
+		return SpanContext{}, false
+	}
+	sc.Sampled = flags[0]&0x01 != 0
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// newTraceID draws a random non-zero trace ID. math/rand/v2's global
+// generator is lock-free per P, which keeps ID generation off the
+// invocation path's contention profile.
+func newTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		hi, lo := rand.Uint64(), rand.Uint64()
+		for i := 0; i < 8; i++ {
+			t[i] = byte(hi >> (8 * i))
+			t[8+i] = byte(lo >> (8 * i))
+		}
+	}
+	return t
+}
+
+// newSpanID draws a random non-zero span ID.
+func newSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		v := rand.Uint64()
+		for i := 0; i < 8; i++ {
+			s[i] = byte(v >> (8 * i))
+		}
+	}
+	return s
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: newTraceID(), SpanID: newSpanID(), Sampled: true}
+	tp := sc.Traceparent()
+	if len(tp) != traceparentLen {
+		t.Fatalf("traceparent length = %d, want %d", len(tp), traceparentLen)
+	}
+	got, ok := ParseTraceparent(tp)
+	if !ok {
+		t.Fatalf("ParseTraceparent rejected %q", tp)
+	}
+	if got != sc {
+		t.Fatalf("round trip: got %+v, want %+v", got, sc)
+	}
+
+	unsampled := SpanContext{TraceID: sc.TraceID, SpanID: sc.SpanID, Sampled: false}
+	got, ok = ParseTraceparent(unsampled.Traceparent())
+	if !ok || got.Sampled {
+		t.Fatalf("unsampled round trip: got %+v ok=%v", got, ok)
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	valid := string(SpanContext{TraceID: newTraceID(), SpanID: newSpanID()}.Traceparent())
+	bad := []string{
+		"",
+		"00",
+		valid[:len(valid)-1], // truncated
+		"00-00000000000000000000000000000000-" + valid[36:], // zero trace id
+		valid[:3] + "zz" + valid[5:],                        // non-hex
+		"ff" + valid[2:],                                    // forbidden version
+		valid + "x",                                         // trailing junk without separator
+	}
+	for _, in := range bad {
+		if _, ok := ParseTraceparent([]byte(in)); ok {
+			t.Fatalf("ParseTraceparent accepted %q", in)
+		}
+	}
+	// Forward compat: a longer payload with a dash separator is accepted.
+	if _, ok := ParseTraceparent([]byte(valid + "-extra")); !ok {
+		t.Fatal("ParseTraceparent rejected versioned extension")
+	}
+}
+
+func TestSpanParentChildLinkage(t *testing.T) {
+	col := NewCollector(16)
+	tr := NewTracer(col)
+
+	ctx, root := tr.StartSpan(context.Background(), "client.call")
+	root.SetOperation("echo")
+	ctx, mid := StartChild(ctx, "client.mediator")
+	_, leaf := StartChild(ctx, "wire.send")
+	leaf.RecordError(errors.New("boom"))
+	leaf.End()
+	mid.End()
+	root.End()
+
+	spans := col.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	rootRec, midRec, leafRec := byName["client.call"], byName["client.mediator"], byName["wire.send"]
+	if rootRec.ParentID != "" {
+		t.Fatalf("root has parent %q", rootRec.ParentID)
+	}
+	if midRec.ParentID != rootRec.SpanID || leafRec.ParentID != midRec.SpanID {
+		t.Fatalf("broken linkage: %+v / %+v / %+v", rootRec, midRec, leafRec)
+	}
+	if rootRec.TraceID != midRec.TraceID || midRec.TraceID != leafRec.TraceID {
+		t.Fatal("spans do not share a trace ID")
+	}
+	if leafRec.Err != "boom" {
+		t.Fatalf("leaf error = %q", leafRec.Err)
+	}
+	if rootRec.Operation != "echo" {
+		t.Fatalf("root operation = %q", rootRec.Operation)
+	}
+}
+
+func TestStartRemoteLinksAcrossProcesses(t *testing.T) {
+	clientCol := NewCollector(4)
+	serverCol := NewCollector(4)
+	clientTr := NewTracer(clientCol)
+	serverTr := NewTracer(serverCol)
+
+	_, wire := clientTr.StartSpan(context.Background(), "wire.send")
+	carried, ok := ParseTraceparent(wire.Context().Traceparent())
+	if !ok {
+		t.Fatal("injection does not parse")
+	}
+	srv := serverTr.StartRemote(carried, "server.dispatch")
+	srv.End()
+	wire.End()
+
+	srvRec := serverCol.Snapshot()[0]
+	if srvRec.TraceID != wire.Context().TraceID.String() {
+		t.Fatal("server span lost the trace ID")
+	}
+	if srvRec.ParentID != wire.Context().SpanID.String() || !srvRec.RemoteParent {
+		t.Fatalf("server span parent = %q remote=%v", srvRec.ParentID, srvRec.RemoteParent)
+	}
+
+	// An invalid carried context still yields a fresh server-side trace.
+	orphan := serverTr.StartRemote(SpanContext{}, "server.dispatch")
+	if orphan == nil || !orphan.Context().Valid() {
+		t.Fatal("StartRemote with invalid parent did not mint a trace")
+	}
+}
+
+func TestNilTracerAndSpanFastPath(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.StartSpan(context.Background(), "x")
+	if sp != nil {
+		t.Fatal("nil tracer minted a span")
+	}
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("nil tracer polluted the context")
+	}
+	// All span methods tolerate nil receivers.
+	sp.SetOperation("op")
+	sp.SetAttr("k", "v")
+	sp.AddEvent("e")
+	sp.RecordError(errors.New("x"))
+	if c := sp.Child("y"); c != nil {
+		t.Fatal("nil span minted a child")
+	}
+	sp.End()
+	if _, child := StartChild(context.Background(), "z"); child != nil {
+		t.Fatal("StartChild without a parent minted a span")
+	}
+}
+
+func TestCollectorRingAndAggregation(t *testing.T) {
+	col := NewCollector(4)
+	tr := NewTracer(col)
+	for i := 0; i < 10; i++ {
+		_, sp := tr.StartSpan(context.Background(), "stage")
+		sp.SetOperation("echo")
+		if i%2 == 0 {
+			sp.RecordError(errors.New("fail"))
+		}
+		sp.End()
+	}
+	spans := col.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("ring retained %d spans, want 4", len(spans))
+	}
+	if got := col.TotalRecorded(); got != 10 {
+		t.Fatalf("total recorded = %d, want 10", got)
+	}
+	ops := col.Operations()
+	agg, ok := ops["stage:echo"]
+	if !ok {
+		t.Fatalf("missing aggregation key, have %v", ops)
+	}
+	if agg.Count != 10 || agg.Errors != 5 {
+		t.Fatalf("agg = %+v, want count 10 errors 5", agg)
+	}
+	if agg.Min > agg.Max || agg.Total < agg.Max {
+		t.Fatalf("inconsistent agg durations: %+v", agg)
+	}
+	col.Reset()
+	if len(col.Snapshot()) != 0 || col.TotalRecorded() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func TestSpanEventsAndDoubleEnd(t *testing.T) {
+	col := NewCollector(4)
+	tr := NewTracer(col)
+	_, sp := tr.StartSpan(context.Background(), "qos.negotiate")
+	sp.AddEvent("contract.established", Attr{Key: "epoch", Value: "0"})
+	time.Sleep(time.Millisecond)
+	sp.End()
+	sp.End() // second End must not double-record
+	spans := col.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(spans))
+	}
+	rec := spans[0]
+	if len(rec.Events) != 1 || rec.Events[0].Name != "contract.established" {
+		t.Fatalf("events = %+v", rec.Events)
+	}
+	if rec.Duration < time.Millisecond {
+		t.Fatalf("duration = %v, want >= 1ms", rec.Duration)
+	}
+}

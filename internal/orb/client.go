@@ -3,10 +3,12 @@ package orb
 import (
 	"context"
 	"net"
+	"strconv"
 	"sync"
 
 	"maqs/internal/cdr"
 	"maqs/internal/giop"
+	"maqs/internal/obs"
 )
 
 // iiopModule is the built-in transport module: plain GIOP over the ORB's
@@ -42,16 +44,33 @@ func (m *iiopModule) account(sent, recv int) {
 	m.statsMu.Unlock()
 }
 
-// Send implements TransportModule.
+// Send implements TransportModule. When the context carries a span, the
+// wire leg gets its own child span whose context is injected into the
+// request's SCTrace service context — this is the point where the trace
+// crosses the process boundary, so the server's dispatch span becomes a
+// child of the innermost client-side stage.
 func (m *iiopModule) Send(ctx context.Context, inv *Invocation) (*Outcome, error) {
+	ctx, sp := obs.StartChild(ctx, "wire.send")
+	if sp != nil {
+		sp.SetOperation(inv.Operation)
+		inv.Contexts = inv.Contexts.With(giop.SCTrace, sp.Context().Traceparent())
+	}
 	addr := inv.Target.Profile.Addr()
 	conn, err := m.orb.getConn(addr)
 	if err != nil {
+		sp.RecordError(err)
+		sp.End()
 		return nil, err
 	}
 	out, sent, recv, err := conn.roundTrip(ctx, inv)
 	if err == nil {
 		m.account(sent, recv)
+	}
+	if sp != nil {
+		sp.SetAttr("bytes_sent", strconv.Itoa(sent))
+		sp.SetAttr("bytes_recv", strconv.Itoa(recv))
+		sp.RecordError(err)
+		sp.End()
 	}
 	return out, err
 }

@@ -7,6 +7,7 @@ import (
 	"maqs/internal/cdr"
 	"maqs/internal/giop"
 	"maqs/internal/ior"
+	"maqs/internal/obs"
 )
 
 // maxForwards bounds LOCATION_FORWARD chains so two objects forwarding to
@@ -163,6 +164,10 @@ type ServerRequest struct {
 	Peer string
 	// OneWay reports that no response will be sent.
 	OneWay bool
+	// Span is the server-side dispatch span when the ORB has tracing
+	// installed (nil otherwise — all *obs.Span methods are nil-safe).
+	// Filters, skeletons and servants hang child spans and events off it.
+	Span *obs.Span
 }
 
 // In returns a fresh decoder over the request arguments.

@@ -8,11 +8,13 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"maqs/internal/cdr"
 	"maqs/internal/giop"
 	"maqs/internal/netsim"
+	"maqs/internal/obs"
 )
 
 // Options configures an ORB.
@@ -31,6 +33,9 @@ type Options struct {
 	MaxFragment int
 	// Logger receives diagnostics. Defaults to a discarding logger.
 	Logger *slog.Logger
+	// Observability enables tracing and metrics on this ORB. Nil (the
+	// default) keeps the invocation path on its uninstrumented fast path.
+	Observability *obs.Observability
 }
 
 func (o Options) withDefaults() Options {
@@ -53,6 +58,11 @@ type ORB struct {
 	iiop    *iiopModule
 	adapter *Adapter
 
+	// obsState holds the installed observability bundle together with
+	// the pre-resolved server-path instruments; an atomic pointer keeps
+	// the per-request read lock-free and allows late installation.
+	obsState atomic.Pointer[orbObs]
+
 	mu             sync.Mutex
 	router         Router
 	conns          map[string]*clientConn
@@ -65,6 +75,16 @@ type ORB struct {
 	shutdown       bool
 
 	wg sync.WaitGroup
+}
+
+// orbObs bundles the observability handle with the server-path
+// instruments, resolved once at installation so the request path does
+// single atomic updates instead of registry lookups.
+type orbObs struct {
+	bundle   *obs.Observability
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
 }
 
 // CommandHandler interprets command-tagged requests (the paper's dual use
@@ -84,7 +104,51 @@ func New(opts Options) *ORB {
 	o.iiop = &iiopModule{orb: o}
 	o.adapter = &Adapter{orb: o, servants: make(map[string]*activation)}
 	o.router = RouterFunc(func(*Invocation) (TransportModule, error) { return o.iiop, nil })
+	if opts.Observability != nil {
+		o.SetObservability(opts.Observability)
+	}
 	return o
+}
+
+// SetObservability installs (or, with nil, removes) the tracing and
+// metrics bundle. Server-path instruments are resolved here once.
+func (o *ORB) SetObservability(b *obs.Observability) {
+	if b == nil {
+		o.obsState.Store(nil)
+		return
+	}
+	o.obsState.Store(&orbObs{
+		bundle:   b,
+		requests: b.Registry.Counter("maqs_server_requests_total"),
+		errors:   b.Registry.Counter("maqs_server_errors_total"),
+		latency:  b.Registry.Histogram("maqs_server_dispatch_seconds", nil),
+	})
+}
+
+// Observability returns the installed bundle, or nil.
+func (o *ORB) Observability() *obs.Observability {
+	if s := o.obsState.Load(); s != nil {
+		return s.bundle
+	}
+	return nil
+}
+
+// Tracer returns the installed tracer, or nil (the disabled tracer).
+func (o *ORB) Tracer() *obs.Tracer {
+	if s := o.obsState.Load(); s != nil {
+		return s.bundle.Tracer
+	}
+	return nil
+}
+
+// Metrics returns the installed metrics registry, or nil. All registry
+// and instrument methods are nil-safe, so callers may chain through the
+// result unconditionally.
+func (o *ORB) Metrics() *obs.Registry {
+	if s := o.obsState.Load(); s != nil {
+		return s.bundle.Registry
+	}
+	return nil
 }
 
 // Logger exposes the ORB's logger for subsystems.

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"maqs/internal/cdr"
 	"maqs/internal/giop"
 	"maqs/internal/ior"
+	"maqs/internal/obs"
 )
 
 // activation records one servant registered with the adapter.
@@ -234,7 +236,30 @@ func (o *ORB) handleRequest(conn net.Conn, writeMu *sync.Mutex, order cdr.ByteOr
 		OneWay:    !h.ResponseExpected,
 	}
 
+	ob := o.obsState.Load()
+	var start time.Time
+	if ob != nil {
+		start = time.Now()
+		var parent obs.SpanContext
+		if tp, ok := h.Contexts.Get(giop.SCTrace); ok {
+			parent, _ = obs.ParseTraceparent(tp)
+		}
+		req.Span = ob.bundle.Tracer.StartRemote(parent, "server.dispatch")
+		req.Span.SetOperation(h.Operation)
+		req.Span.SetAttr("peer", req.Peer)
+	}
+
 	status, body := o.dispatch(req)
+
+	if ob != nil {
+		ob.requests.Inc()
+		ob.latency.Observe(time.Since(start))
+		if status != giop.ReplyNoException && status != giop.ReplyLocationForward {
+			ob.errors.Inc()
+			req.Span.SetAttr("reply_status", status.String())
+		}
+		req.Span.End()
+	}
 
 	if !h.ResponseExpected {
 		return

@@ -1,0 +1,26 @@
+package qos
+
+import "maqs/internal/obs"
+
+// MetricsObserver returns an Observer feeding client-side invocation
+// metrics into reg: request/error counters, payload byte counters and
+// the round-trip latency histogram. Instruments are resolved once here,
+// so the per-observation cost is a handful of atomic updates. Attach it
+// with Stub.AddObserver so it coexists with a qos.Monitor (maqs.System
+// attaches it automatically when observability is enabled).
+func MetricsObserver(reg *obs.Registry) Observer {
+	requests := reg.Counter("maqs_client_requests_total")
+	errors := reg.Counter("maqs_client_errors_total")
+	reqBytes := reg.Counter("maqs_client_request_bytes_total")
+	repBytes := reg.Counter("maqs_client_reply_bytes_total")
+	rtt := reg.Histogram("maqs_client_rtt_seconds", nil)
+	return func(o Observation) {
+		requests.Inc()
+		if o.Err != nil {
+			errors.Inc()
+		}
+		reqBytes.Add(uint64(o.ReqBytes))
+		repBytes.Add(uint64(o.RepBytes))
+		rtt.Observe(o.RTT)
+	}
+}

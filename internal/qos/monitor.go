@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"maqs/internal/obs"
 )
 
 // Stats is a snapshot of a monitor's sliding window.
@@ -38,6 +40,12 @@ type Monitor struct {
 	count      uint64
 	errors     uint64
 	ewma       float64 // nanoseconds
+	ewmaSet    bool    // distinguishes "no observation yet" from a 0ns EWMA
+
+	// Optional metrics sinks (see Publish); nil instruments are no-ops.
+	mObservations *obs.Counter
+	mErrors       *obs.Counter
+	mRTT          *obs.Histogram
 }
 
 // NewMonitor constructs a monitor with the given sliding window size.
@@ -48,10 +56,24 @@ func NewMonitor(windowSize int) *Monitor {
 	return &Monitor{windowSize: windowSize, alpha: 0.2, ring: make([]Observation, windowSize)}
 }
 
+// Publish additionally feeds every observation into reg under the given
+// metric name prefix ("maqs_monitor" when empty): <prefix>_observations_total,
+// <prefix>_errors_total and the <prefix>_rtt_seconds histogram. The
+// monitor's sliding-window statistics are unaffected.
+func (m *Monitor) Publish(reg *obs.Registry, prefix string) {
+	if prefix == "" {
+		prefix = "maqs_monitor"
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mObservations = reg.Counter(prefix + "_observations_total")
+	m.mErrors = reg.Counter(prefix + "_errors_total")
+	m.mRTT = reg.Histogram(prefix+"_rtt_seconds", nil)
+}
+
 // Observe records one invocation. It matches the Observer signature.
 func (m *Monitor) Observe(o Observation) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.count++
 	if o.Err != nil {
 		m.errors++
@@ -62,11 +84,22 @@ func (m *Monitor) Observe(o Observation) {
 		m.next = 0
 		m.filled = true
 	}
-	if m.ewma == 0 {
+	// Seed the EWMA from the first observation only; a genuine 0ns RTT
+	// must not make a later observation re-seed it.
+	if !m.ewmaSet {
 		m.ewma = float64(o.RTT)
+		m.ewmaSet = true
 	} else {
 		m.ewma = m.alpha*float64(o.RTT) + (1-m.alpha)*m.ewma
 	}
+	obsC, errC, rttH := m.mObservations, m.mErrors, m.mRTT
+	m.mu.Unlock()
+
+	obsC.Inc()
+	if o.Err != nil {
+		errC.Inc()
+	}
+	rttH.Observe(o.RTT)
 }
 
 // Snapshot summarises the current window.

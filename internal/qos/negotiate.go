@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 
 	"maqs/internal/cdr"
 	"maqs/internal/ior"
+	"maqs/internal/obs"
 	"maqs/internal/orb"
 )
 
@@ -102,13 +104,22 @@ func ProposalFromContract(c *Contract) *Proposal {
 // success the registry's mediator for the characteristic is attached to
 // the stub. Any previous binding is released first.
 func (s *Stub) Negotiate(ctx context.Context, proposal *Proposal) (*Binding, error) {
+	ctx, span := s.orb.Tracer().StartSpan(ctx, "qos.negotiate")
+	span.SetAttr("characteristic", proposal.Characteristic)
+	defer span.End()
+	metrics := s.orb.Metrics()
+	metrics.Counter("maqs_negotiations_total").Inc()
+
 	if old := s.Binding(); old != nil {
 		if err := s.Release(ctx); err != nil {
+			span.RecordError(err)
 			return nil, fmt.Errorf("qos: releasing previous binding: %w", err)
 		}
 	}
 	binding, err := NegotiateRaw(ctx, s.orb, s.Target(), proposal)
 	if err != nil {
+		metrics.Counter("maqs_negotiation_failures_total").Inc()
+		span.RecordError(err)
 		return nil, err
 	}
 	mediator, err := s.registry.MediatorFor(s, binding)
@@ -116,9 +127,16 @@ func (s *Stub) Negotiate(ctx context.Context, proposal *Proposal) (*Binding, err
 		// Roll the server-side binding back; the agreement cannot be
 		// honoured without its client half.
 		_ = s.releaseID(ctx, binding.ID)
+		metrics.Counter("maqs_negotiation_failures_total").Inc()
+		span.RecordError(err)
 		return nil, fmt.Errorf("qos: attaching mediator: %w", err)
 	}
 	s.install(binding, mediator)
+	span.AddEvent("contract.established",
+		obs.Attr{Key: "binding", Value: binding.ID},
+		obs.Attr{Key: "module", Value: binding.Module},
+		obs.Attr{Key: "epoch", Value: strconv.FormatUint(uint64(binding.Contract.Epoch), 10)})
+	metrics.Gauge("maqs_client_bindings").Add(1)
 	return binding, nil
 }
 
@@ -129,6 +147,11 @@ func (s *Stub) Renegotiate(ctx context.Context, proposal *Proposal) (*Contract, 
 	if binding == nil {
 		return nil, fmt.Errorf("qos: renegotiation without a binding")
 	}
+	ctx, span := s.orb.Tracer().StartSpan(ctx, "qos.renegotiate")
+	span.SetAttr("characteristic", proposal.Characteristic)
+	span.SetAttr("binding", binding.ID)
+	defer span.End()
+	s.orb.Metrics().Counter("maqs_renegotiations_total").Inc()
 	e := cdr.NewEncoder(s.orb.Order())
 	e.WriteString(binding.ID)
 	proposal.Marshal(e)
@@ -140,9 +163,11 @@ func (s *Stub) Renegotiate(ctx context.Context, proposal *Proposal) (*Contract, 
 		Order:            s.orb.Order(),
 	})
 	if err != nil {
+		span.RecordError(err)
 		return nil, err
 	}
 	if err := out.Err(); err != nil {
+		span.RecordError(err)
 		if ne, ok := DecodeNegotiationError(err); ok {
 			return nil, ne
 		}
@@ -150,6 +175,7 @@ func (s *Stub) Renegotiate(ctx context.Context, proposal *Proposal) (*Contract, 
 	}
 	contract, err := UnmarshalContract(out.Decoder())
 	if err != nil {
+		span.RecordError(err)
 		return nil, fmt.Errorf("qos: decoding renegotiated contract: %w", err)
 	}
 
@@ -159,9 +185,12 @@ func (s *Stub) Renegotiate(ctx context.Context, proposal *Proposal) (*Contract, 
 	s.mu.Unlock()
 	if am, ok := mediator.(AdaptiveMediator); ok {
 		if err := am.ContractChanged(contract); err != nil {
+			span.RecordError(err)
 			return nil, fmt.Errorf("qos: mediator rejecting new contract: %w", err)
 		}
 	}
+	span.AddEvent("contract.renegotiated",
+		obs.Attr{Key: "epoch", Value: strconv.FormatUint(uint64(contract.Epoch), 10)})
 	return contract, nil
 }
 
@@ -176,7 +205,15 @@ func (s *Stub) Release(ctx context.Context) error {
 	if binding == nil {
 		return nil
 	}
-	return s.releaseID(ctx, binding.ID)
+	ctx, span := s.orb.Tracer().StartSpan(ctx, "qos.release")
+	span.SetAttr("characteristic", binding.Characteristic)
+	span.SetAttr("binding", binding.ID)
+	defer span.End()
+	s.orb.Metrics().Counter("maqs_releases_total").Inc()
+	s.orb.Metrics().Gauge("maqs_client_bindings").Add(-1)
+	err := s.releaseID(ctx, binding.ID)
+	span.RecordError(err)
+	return err
 }
 
 func (s *Stub) releaseID(ctx context.Context, id string) error {

@@ -3,9 +3,11 @@ package qos
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"maqs/internal/cdr"
+	"maqs/internal/obs"
 	"maqs/internal/orb"
 )
 
@@ -169,7 +171,7 @@ func (s *ServerSkeleton) Invoke(req *orb.ServerRequest) error {
 
 	// Application operation, bracketed by prolog and epilog when bound.
 	if binding == nil {
-		return s.servant.Invoke(req)
+		return s.invokeServant(req)
 	}
 	s.mu.RLock()
 	impl := s.impls[binding.Characteristic]
@@ -178,14 +180,58 @@ func (s *ServerSkeleton) Invoke(req *orb.ServerRequest) error {
 		return orb.NewSystemException(orb.ExcBadQoS, 45,
 			"binding %q names unassigned characteristic %s", binding.ID, binding.Characteristic)
 	}
-	if err := impl.Prolog(req, binding); err != nil {
+	if err := s.runProlog(req, impl, binding); err != nil {
 		return err
 	}
-	invokeErr := s.servant.Invoke(req)
-	if err := impl.Epilog(req, binding, invokeErr); err != nil {
+	invokeErr := s.invokeServant(req)
+	if err := s.runEpilog(req, impl, binding, invokeErr); err != nil {
 		return err
 	}
 	return invokeErr
+}
+
+// invokeServant runs the application operation under its own span.
+func (s *ServerSkeleton) invokeServant(req *orb.ServerRequest) error {
+	span := req.Span.Child("server.servant")
+	span.SetOperation(req.Operation)
+	err := s.servant.Invoke(req)
+	span.RecordError(err)
+	span.End()
+	return err
+}
+
+// runProlog brackets the prolog stage with a span carrying the binding's
+// characteristic and contract epoch.
+func (s *ServerSkeleton) runProlog(req *orb.ServerRequest, impl Impl, binding *Binding) error {
+	span := req.Span.Child("server.prolog")
+	annotateBinding(span, binding)
+	err := impl.Prolog(req, binding)
+	span.RecordError(err)
+	span.End()
+	return err
+}
+
+// runEpilog brackets the epilog stage likewise.
+func (s *ServerSkeleton) runEpilog(req *orb.ServerRequest, impl Impl, binding *Binding, invokeErr error) error {
+	span := req.Span.Child("server.epilog")
+	annotateBinding(span, binding)
+	err := impl.Epilog(req, binding, invokeErr)
+	span.RecordError(err)
+	span.End()
+	return err
+}
+
+// annotateBinding tags a span with the binding identity that makes
+// contract epochs traceable across renegotiations.
+func annotateBinding(span *obs.Span, binding *Binding) {
+	if span == nil || binding == nil {
+		return
+	}
+	span.SetAttr("characteristic", binding.Characteristic)
+	span.SetAttr("binding", binding.ID)
+	if binding.Contract != nil {
+		span.SetAttr("epoch", strconv.FormatUint(uint64(binding.Contract.Epoch), 10))
+	}
 }
 
 // negotiate implements OpNegotiate.
@@ -244,6 +290,10 @@ func (s *ServerSkeleton) negotiate(req *orb.ServerRequest) error {
 		})
 	}
 
+	req.Span.AddEvent("qos.negotiate",
+		obs.Attr{Key: "characteristic", Value: binding.Characteristic},
+		obs.Attr{Key: "binding", Value: binding.ID},
+		obs.Attr{Key: "epoch", Value: strconv.FormatUint(uint64(contract.Epoch), 10)})
 	req.Out.WriteString(binding.ID)
 	req.Out.WriteString(binding.Module)
 	contract.Marshal(req.Out)
@@ -308,6 +358,10 @@ func (s *ServerSkeleton) renegotiate(req *orb.ServerRequest) error {
 			Reason:         fmt.Sprintf("adaptation refused: %v", err),
 		})
 	}
+	req.Span.AddEvent("qos.renegotiate",
+		obs.Attr{Key: "characteristic", Value: binding.Characteristic},
+		obs.Attr{Key: "binding", Value: binding.ID},
+		obs.Attr{Key: "epoch", Value: strconv.FormatUint(uint64(contract.Epoch), 10)})
 	contract.Marshal(req.Out)
 	return nil
 }
@@ -328,6 +382,9 @@ func (s *ServerSkeleton) release(req *orb.ServerRequest) error {
 	if impl != nil {
 		impl.BindingDown(binding)
 	}
+	req.Span.AddEvent("qos.release",
+		obs.Attr{Key: "characteristic", Value: binding.Characteristic},
+		obs.Attr{Key: "binding", Value: binding.ID})
 	return nil
 }
 

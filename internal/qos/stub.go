@@ -8,6 +8,7 @@ import (
 	"maqs/internal/cdr"
 	"maqs/internal/giop"
 	"maqs/internal/ior"
+	"maqs/internal/obs"
 	"maqs/internal/orb"
 )
 
@@ -36,11 +37,11 @@ type Stub struct {
 	orb      *orb.ORB
 	registry *Registry
 
-	mu       sync.RWMutex
-	target   *ior.IOR
-	binding  *Binding
-	mediator Mediator
-	observer Observer
+	mu        sync.RWMutex
+	target    *ior.IOR
+	binding   *Binding
+	mediator  Mediator
+	observers []Observer
 }
 
 // NewStub wraps a target reference for QoS-capable invocation, using the
@@ -96,11 +97,32 @@ func (s *Stub) SetMediator(m Mediator) {
 	s.mediator = m
 }
 
-// SetObserver installs a monitoring probe invoked after every call.
+// SetObserver installs a monitoring probe invoked after every call,
+// replacing all previously installed observers (nil detaches them). Use
+// AddObserver to stack probes instead.
 func (s *Stub) SetObserver(o Observer) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.observer = o
+	if o == nil {
+		s.observers = nil
+		return
+	}
+	s.observers = []Observer{o}
+}
+
+// AddObserver appends a monitoring probe; all registered observers see
+// every observation, in registration order. This lets a qos.Monitor and
+// a metrics sink coexist on the same stub.
+func (s *Stub) AddObserver(o Observer) {
+	if o == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Copy-on-write so Invoke can use the slice outside the lock.
+	observers := make([]Observer, 0, len(s.observers)+1)
+	observers = append(observers, s.observers...)
+	s.observers = append(observers, o)
 }
 
 // install records a fresh binding and its mediator.
@@ -127,8 +149,17 @@ func (s *Stub) clearBinding() (Mediator, *Binding) {
 // feed the observer.
 func (s *Stub) Invoke(ctx context.Context, op string, args []byte, oneway bool) (*orb.Outcome, error) {
 	s.mu.RLock()
-	target, binding, mediator, observer := s.target, s.binding, s.mediator, s.observer
+	target, binding, mediator, observers := s.target, s.binding, s.mediator, s.observers
 	s.mu.RUnlock()
+
+	ctx, span := s.orb.Tracer().StartSpan(ctx, "client.call")
+	if span != nil {
+		span.SetOperation(op)
+		if binding != nil {
+			span.SetAttr("characteristic", binding.Characteristic)
+			span.SetAttr("binding", binding.ID)
+		}
+	}
 
 	inv := &orb.Invocation{
 		Target:           target,
@@ -147,20 +178,30 @@ func (s *Stub) Invoke(ctx context.Context, op string, args []byte, oneway bool) 
 
 	start := time.Now()
 	out, err := s.deliver(ctx, inv, mediator)
-	if observer != nil {
-		obs := Observation{
+	if span != nil {
+		if err != nil {
+			span.RecordError(err)
+		} else {
+			span.RecordError(out.Err())
+		}
+		span.End()
+	}
+	if len(observers) > 0 {
+		o := Observation{
 			Operation: op,
 			RTT:       time.Since(start),
 			ReqBytes:  len(args),
 			At:        time.Now(),
 		}
 		if err != nil {
-			obs.Err = err
+			o.Err = err
 		} else {
-			obs.Err = out.Err()
-			obs.RepBytes = len(out.Data)
+			o.Err = out.Err()
+			o.RepBytes = len(out.Data)
 		}
-		observer(obs)
+		for _, observer := range observers {
+			observer(o)
+		}
 	}
 	return out, err
 }
@@ -169,6 +210,21 @@ func (s *Stub) deliver(ctx context.Context, inv *orb.Invocation, mediator Mediat
 	if mediator == nil {
 		return s.orb.Invoke(ctx, inv)
 	}
+	ctx, span := obs.StartChild(ctx, "client.mediator")
+	if span != nil {
+		span.SetAttr("characteristic", mediator.Characteristic())
+	}
+	out, err := s.mediate(ctx, inv, mediator)
+	if span != nil {
+		span.RecordError(err)
+		span.End()
+	}
+	return out, err
+}
+
+// mediate runs the mediator bracket: PreInvoke, delivery (delegated when
+// the mediator takes it over), PostInvoke.
+func (s *Stub) mediate(ctx context.Context, inv *orb.Invocation, mediator Mediator) (*orb.Outcome, error) {
 	if err := mediator.PreInvoke(ctx, inv); err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 
 	"maqs/internal/cdr"
 	"maqs/internal/giop"
+	"maqs/internal/obs"
 	"maqs/internal/orb"
 )
 
@@ -86,9 +87,19 @@ func (c *Chain) send(ctx context.Context, inv *orb.Invocation, next Next, depth 
 	if depth == len(c.members) {
 		return next(ctx, inv)
 	}
-	return c.members[depth].Send(ctx, inv, func(ctx context.Context, inner *orb.Invocation) (*orb.Outcome, error) {
+	member := c.members[depth]
+	ctx, span := obs.StartChild(ctx, "module."+member.Name())
+	if span != nil {
+		span.SetOperation(inv.Operation)
+	}
+	out, err := member.Send(ctx, inv, func(ctx context.Context, inner *orb.Invocation) (*orb.Outcome, error) {
 		return c.send(ctx, inner, next, depth+1)
 	})
+	if span != nil {
+		span.RecordError(err)
+		span.End()
+	}
+	return out, err
 }
 
 // ServerFilter implements Module: requests are unwrapped innermost-first

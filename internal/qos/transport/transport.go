@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"maqs/internal/giop"
+	"maqs/internal/obs"
 	"maqs/internal/orb"
 	"maqs/internal/qos"
 )
@@ -254,7 +255,15 @@ func (a *moduleAdapter) Name() string { return a.module.Name() }
 
 func (a *moduleAdapter) Send(ctx context.Context, inv *orb.Invocation) (*orb.Outcome, error) {
 	iiop := a.transport.orb.IIOPModule()
-	return a.module.Send(ctx, inv, iiop.Send)
+	ctx, span := obs.StartChild(ctx, "module."+a.module.Name())
+	if span == nil {
+		return a.module.Send(ctx, inv, iiop.Send)
+	}
+	span.SetOperation(inv.Operation)
+	out, err := a.module.Send(ctx, inv, iiop.Send)
+	span.RecordError(err)
+	span.End()
+	return out, err
 }
 
 // Inbound implements orb.IncomingFilter: requests tagged with a loaded

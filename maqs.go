@@ -38,6 +38,7 @@ import (
 	"maqs/internal/characteristics/replication"
 	"maqs/internal/ior"
 	"maqs/internal/netsim"
+	"maqs/internal/obs"
 	"maqs/internal/orb"
 	"maqs/internal/qos"
 	"maqs/internal/qos/transport"
@@ -101,6 +102,14 @@ type (
 	// Module is a transport-layer QoS module.
 	Module = transport.Module
 
+	// Observability bundles the metrics registry, span collector and
+	// tracer threaded through the invocation path (see internal/obs).
+	Observability = obs.Observability
+	// MetricsRegistry is the lock-cheap metrics registry.
+	MetricsRegistry = obs.Registry
+	// SpanRecord is one finished span as stored by the collector.
+	SpanRecord = obs.SpanRecord
+
 	// Network is the simulated network used for testing and experiments.
 	Network = netsim.Network
 	// Link describes simulated link characteristics.
@@ -123,6 +132,12 @@ var (
 	NewServerSkeleton = qos.NewServerSkeleton
 	// ParseIOR parses a stringified object reference.
 	ParseIOR = ior.Parse
+	// NewObservability constructs a metrics + tracing bundle for
+	// Options.Observability.
+	NewObservability = obs.New
+	// NewMetricsObserver builds a Stub observer feeding client metrics
+	// into a registry.
+	NewMetricsObserver = qos.MetricsObserver
 )
 
 // Value kinds for ParamOffer declarations.
@@ -164,6 +179,12 @@ type Options struct {
 	// SkipStandardModules leaves the QoS transport without the standard
 	// module factories (flate, secure).
 	SkipStandardModules bool
+	// Observability, when set, threads a metrics registry and tracer
+	// through the system's invocation path: every server dispatch and
+	// every Stub call is counted, timed and traced. Share one bundle
+	// between client and server Systems of a process to collect complete
+	// traces in one collector. Nil keeps the fast uninstrumented path.
+	Observability *obs.Observability
 }
 
 // System bundles one ORB with its QoS transport and characteristic
@@ -176,6 +197,8 @@ type System struct {
 	Transport *transport.Transport
 	// Registry holds the registered QoS characteristics.
 	Registry *qos.Registry
+	// Observability is the bundle from Options.Observability, or nil.
+	Observability *obs.Observability
 }
 
 // NewSystem builds a System: ORB, QoS transport (router + command
@@ -186,10 +209,11 @@ func NewSystem(opts Options) (*System, error) {
 		Transport:      opts.Transport,
 		RequestTimeout: opts.RequestTimeout,
 		Logger:         opts.Logger,
+		Observability:  opts.Observability,
 	})
 	t := transport.Install(o)
 	registry := qos.NewRegistry()
-	sys := &System{ORB: o, Transport: t, Registry: registry}
+	sys := &System{ORB: o, Transport: t, Registry: registry, Observability: opts.Observability}
 	if !opts.SkipStandardModules {
 		if err := compression.RegisterModule(t); err != nil {
 			return nil, fmt.Errorf("maqs: %w", err)
@@ -232,9 +256,14 @@ func (s *System) ActivateQoS(key, typeID string, servant orb.Servant, info ior.Q
 }
 
 // Stub wraps a reference for QoS-aware invocation against this system's
-// registry.
+// registry. When the system is observable, the stub is created with a
+// metrics observer already attached (stack a Monitor with AddObserver).
 func (s *System) Stub(ref *ior.IOR) *qos.Stub {
-	return qos.NewStubWithRegistry(s.ORB, ref, s.Registry)
+	stub := qos.NewStubWithRegistry(s.ORB, ref, s.Registry)
+	if s.Observability != nil {
+		stub.AddObserver(qos.MetricsObserver(s.Observability.Registry))
+	}
+	return stub
 }
 
 // LoadModule loads a QoS transport module locally (both peers of a
