@@ -1,11 +1,13 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench clean
+.PHONY: all check vet build test race bench chaos clean
 
 all: check
 
-# check is the full gate: vet, build everything, race-enabled tests.
-check: vet build race
+# check is the full gate: vet, build everything, race-enabled tests, and
+# the chaos suite (fault injection + resilience) on its own for a
+# readable verdict.
+check: vet build race chaos
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +23,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=200ms -run='^$$' .
+
+# chaos runs the fault-injection stress tests race-enabled: the seeded
+# FaultPlan chaos run plus the targeted retry/breaker tests.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestRetry|TestBreaker|TestNonIdempotent|TestFault' -v ./internal/orb ./internal/netsim ./internal/resilience
 
 clean:
 	$(GO) clean ./...

@@ -8,12 +8,20 @@
 //	maqs-bench E3 E5     # run selected experiments
 //	maqs-bench -list     # list experiments
 //	maqs-bench -metrics  # run an instrumented demo world, dump JSON
+//	maqs-bench -faults   # chaos mode: demo world under a seeded fault plan
 //
 // With -metrics, instead of the experiment tables the bench runs a small
 // fully instrumented client/server world (negotiation, compressed calls,
 // renegotiation, release) sharing one observability bundle, and prints
 // its JSON snapshot: metric values, per-operation span aggregates and
 // the recorded spans themselves.
+//
+// With -faults, the same kind of world runs under a deterministic fault
+// plan (segment drops, delay jitter, one partition window) with the
+// client's resilience layer — retry with backoff, a per-endpoint circuit
+// breaker and a QoS degradation ladder — switched on; the run ends with a
+// report of injected faults, retries, breaker transitions and automatic
+// renegotiations (see docs/RESILIENCE.md).
 package main
 
 import (
@@ -39,12 +47,21 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("maqs-bench", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list experiments and exit")
 	metrics := fs.Bool("metrics", false, "run an instrumented demo world and dump its observability snapshot as JSON")
+	faults := fs.Bool("faults", false, "run the demo world under a seeded fault plan and report what the resilience layer did")
+	faultCalls := fs.Int("fault-calls", 400, "number of invocations for the -faults chaos run")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *metrics {
 		if err := runMetricsDemo(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "metrics demo failed: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if *faults {
+		if err := runFaultsDemo(os.Stdout, *faultCalls); err != nil {
+			fmt.Fprintf(os.Stderr, "faults demo failed: %v\n", err)
 			return 1
 		}
 		return 0

@@ -85,7 +85,9 @@ func run() error {
 	debug := flag.String("debug", "", "HTTP debug address serving /metrics and /trace (empty: disabled)")
 	flag.Parse()
 
-	opts := maqs.Options{}
+	// Outgoing invocations from this process (trader lookups, replica
+	// fan-out) get the stock retry + circuit-breaker policy.
+	opts := maqs.Options{Resilience: maqs.DefaultResiliencePolicy()}
 	if *debug != "" {
 		opts.Observability = maqs.NewObservability()
 	}

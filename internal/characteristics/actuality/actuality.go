@@ -1,13 +1,3 @@
-// Package actuality implements the paper's "actuality of data" QoS
-// characteristic: a client negotiates how stale a result it is willing to
-// accept, and the mediator serves repeated reads from a client-side cache
-// while the contracted maximum age is not exceeded.
-//
-// Unlike compression and encryption this characteristic is purely
-// application-layer: the whole mechanism lives in the mediator the QIDL
-// weaving attaches to the stub, with a small server-side implementation
-// that answers cache-control QoS operations (explicit invalidation and a
-// version probe — the characteristic's management operations).
 package actuality
 
 import (

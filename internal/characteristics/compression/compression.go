@@ -1,14 +1,3 @@
-// Package compression implements the paper's "compression for channels
-// with small bandwidth" QoS characteristic.
-//
-// The mechanism is split across the two layers of the paper's hierarchy:
-//
-//   - Application layer: the Compression characteristic with its "level"
-//     and "min_size" parameters; its server-side implementation assigns
-//     the "flate" transport module to every binding it admits.
-//   - Transport layer: the "flate" QoS module, which deflate-compresses
-//     request and reply payloads above the configured threshold. Client
-//     and server both load it; the server advertises it in the IOR.
 package compression
 
 import (

@@ -1,0 +1,12 @@
+// Package loadbalance implements the paper's "performance by
+// load-balancing" QoS characteristic.
+//
+// A service is deployed on several worker servers that all activate the
+// same object key; the cluster reference carries the worker endpoints as
+// an ordered-endpoints IOR component. The client-side mediator — the
+// woven QoS aspect — redirects every invocation to a worker chosen by the
+// negotiated strategy. Workers report their instantaneous load back in a
+// reply service context (QoS-to-QoS communication), which feeds the
+// least-loaded strategy; dead workers are skipped, so the balancer also
+// masks worker failures.
+package loadbalance

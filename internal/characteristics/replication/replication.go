@@ -1,24 +1,3 @@
-// Package replication implements the paper's "fault-tolerance through
-// replica groups" QoS characteristic — the example the paper itself uses
-// to argue that QoS is an aspect: masking server crashes with a group of
-// replicas requires initialising new replicas to the state of running
-// ones, and the server's state is encapsulated behind its interface, so
-// the mechanism cross-cuts the object. MAQS resolves the cross-cut with a
-// dedicated aspect-integration interface (qos.StateAccessor here).
-//
-// The mechanism:
-//
-//   - Every replica runs the application servant plus this package's
-//     Impl, which answers the group-management QoS operations (members,
-//     state transfer, join/leave).
-//   - The client-side mediator holds one binding per replica and
-//     delivers each invocation by the negotiated strategy: "active" sends
-//     to all replicas and masks failures while at least one answers
-//     (k-availability), optionally requiring a majority vote over the
-//     replies ("diversity through majority votes on results"); "failover"
-//     tries replicas in order until one answers.
-//   - A restarted or fresh replica joins by fetching the current state
-//     from a running member through the aspect-integration interface.
 package replication
 
 import (

@@ -1,0 +1,10 @@
+// Package accounting implements the accounting infrastructure service of
+// the framework (paper §2.2 and §6 outlook: "negotiation and accounting
+// of QoS enabled communication", with prices feeding client preferences).
+//
+// A Meter is installed as a server-side filter; it attributes every
+// QoS-tagged request to its binding and accumulates usage records. A
+// Tariff prices usage per characteristic, so a bill can be drawn per
+// binding — the "price" dimension the paper's outlook wants negotiation
+// to embrace.
+package accounting

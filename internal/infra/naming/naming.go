@@ -1,11 +1,3 @@
-// Package naming implements a CORBA-style naming service: a hierarchy of
-// contexts binding names to object references. Together with the trader
-// it completes the discovery side of the framework's infrastructure
-// services — the trader answers "who offers this QoS", the naming service
-// answers "who is called this".
-//
-// Names are path-like ("finance/accounts/main"); intermediate contexts
-// are created implicitly on bind.
 package naming
 
 import (

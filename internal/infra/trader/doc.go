@@ -1,0 +1,7 @@
+// Package trader implements the trading infrastructure service of the
+// framework ("infrastructure services such as for the negotiation of QoS
+// agreements", paper §2.2): servers export service offers — a reference
+// plus the QoS offers of the object and free-form properties — and
+// clients query by service type and a constraint expression that may
+// range over both properties and QoS capabilities.
+package trader

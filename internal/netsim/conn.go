@@ -26,6 +26,12 @@ func (r *lockedRand) int63n(n int64) int64 {
 	return r.rng.Int63n(n)
 }
 
+func (r *lockedRand) float64() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Float64()
+}
+
 // segment is a chunk of bytes in flight with its arrival time.
 type segment struct {
 	data    []byte
@@ -114,7 +120,20 @@ func (c *conn) Write(p []byte) (int, error) {
 	if c.link.Jitter > 0 {
 		delay += c.network.scaled(time.Duration(c.network.rng.int63n(int64(c.link.Jitter))))
 	}
-	seg := segment{data: append([]byte(nil), p...), arrival: departure.Add(delay)}
+	data := append([]byte(nil), p...)
+	if f := c.network.faults.Load(); f != nil {
+		switch v := f.onWrite(c.local, c.remote, data); {
+		case v.sever:
+			c.sever()
+			return 0, ErrSevered
+		case v.drop:
+			// Blackholed: the writer believes the bytes went out.
+			return len(p), nil
+		default:
+			delay += c.network.scaled(v.extraDelay)
+		}
+	}
+	seg := segment{data: data, arrival: departure.Add(delay)}
 	select {
 	case c.peer.in <- seg:
 		return len(p), nil

@@ -1,0 +1,19 @@
+// Package netsim provides the transport substrate for the ORB: an
+// abstraction over dialing and listening, a real TCP implementation, and a
+// simulated in-memory network with configurable per-link bandwidth,
+// latency, jitter and partitions.
+//
+// The paper's evaluation relies on behaviours that only show up on
+// constrained networks (compression pays off on small-bandwidth channels;
+// replica groups mask crashed servers). The simulator reproduces those
+// conditions on a single host: every connection between two named hosts is
+// shaped by the Link configured for that host pair, and partitions or host
+// crashes sever connections with a distinctive error.
+//
+// Beyond static shaping, a Network can execute a deterministic FaultPlan
+// (InstallFaults): seeded, per-peer-pair and per-time-window rules that
+// drop, delay, corrupt or reset traffic and open self-healing partition
+// windows. The plan is what the resilience layer (internal/resilience,
+// docs/RESILIENCE.md) is tested against — degraded networks are exactly
+// where the paper's QoS mechanisms have to prove themselves.
+package netsim

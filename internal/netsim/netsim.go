@@ -1,14 +1,3 @@
-// Package netsim provides the transport substrate for the ORB: an
-// abstraction over dialing and listening, a real TCP implementation, and a
-// simulated in-memory network with configurable per-link bandwidth,
-// latency, jitter and partitions.
-//
-// The paper's evaluation relies on behaviours that only show up on
-// constrained networks (compression pays off on small-bandwidth channels;
-// replica groups mask crashed servers). The simulator reproduces those
-// conditions on a single host: every connection between two named hosts is
-// shaped by the Link configured for that host pair, and partitions or host
-// crashes sever connections with a distinctive error.
 package netsim
 
 import (
@@ -16,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -95,6 +85,10 @@ type Network struct {
 	conns     map[*conn]struct{}
 	timeScale float64
 	rng       *lockedRand
+
+	// faults is consulted locklessly on every write and dial; nil means
+	// no fault injection (see InstallFaults).
+	faults atomic.Pointer[FaultInjector]
 }
 
 type hostPair struct{ src, dst string }
@@ -282,6 +276,9 @@ func (h *hostTransport) Listen(addr string) (net.Listener, error) {
 // DialFrom opens a connection from the named source host to addr.
 func (n *Network) DialFrom(src, addr string) (net.Conn, error) {
 	dst := hostOf(addr)
+	if f := n.faults.Load(); f != nil && f.refusesDial(src, dst) {
+		return nil, fmt.Errorf("netsim: dial %s from %s: fault partition: %w", addr, src, ErrRefused)
+	}
 	n.mu.Lock()
 	if n.crashed[src] {
 		n.mu.Unlock()

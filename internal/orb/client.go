@@ -5,6 +5,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"maqs/internal/cdr"
 	"maqs/internal/giop"
@@ -17,10 +18,11 @@ import (
 type iiopModule struct {
 	orb *ORB
 
-	statsMu      sync.Mutex
-	requestsSent uint64
-	bytesSent    uint64
-	bytesRecv    uint64
+	// Per-request counters, atomic because account() sits on the hot
+	// path of every invocation.
+	requestsSent atomic.Uint64
+	bytesSent    atomic.Uint64
+	bytesRecv    atomic.Uint64
 }
 
 var _ TransportModule = (*iiopModule)(nil)
@@ -31,17 +33,13 @@ func (m *iiopModule) Name() string { return "iiop" }
 // Stats reports cumulative request and byte counters (used by the
 // accounting service and the benchmarks).
 func (m *iiopModule) Stats() (requests, bytesSent, bytesRecv uint64) {
-	m.statsMu.Lock()
-	defer m.statsMu.Unlock()
-	return m.requestsSent, m.bytesSent, m.bytesRecv
+	return m.requestsSent.Load(), m.bytesSent.Load(), m.bytesRecv.Load()
 }
 
 func (m *iiopModule) account(sent, recv int) {
-	m.statsMu.Lock()
-	m.requestsSent++
-	m.bytesSent += uint64(sent)
-	m.bytesRecv += uint64(recv)
-	m.statsMu.Unlock()
+	m.requestsSent.Add(1)
+	m.bytesSent.Add(uint64(sent))
+	m.bytesRecv.Add(uint64(recv))
 }
 
 // Send implements TransportModule. When the context carries a span, the
@@ -58,6 +56,8 @@ func (m *iiopModule) Send(ctx context.Context, inv *Invocation) (*Outcome, error
 	addr := inv.Target.Profile.Addr()
 	conn, err := m.orb.getConn(addr)
 	if err != nil {
+		// The request never left this process: mark it retry-safe.
+		err = notSent(err)
 		sp.RecordError(err)
 		sp.End()
 		return nil, err
@@ -134,7 +134,8 @@ func (c *clientConn) unregister(id uint32) {
 func (c *clientConn) roundTrip(ctx context.Context, inv *Invocation) (out *Outcome, sent, recv int, err error) {
 	id, p, err := c.register(inv.ResponseExpected)
 	if err != nil {
-		return nil, 0, 0, err
+		// The pooled connection was already dead; nothing was sent.
+		return nil, 0, 0, notSent(err)
 	}
 	order := c.orb.opts.Order
 

@@ -28,6 +28,12 @@ type Invocation struct {
 	Contexts giop.ServiceContextList
 	// ResponseExpected is false for oneway operations.
 	ResponseExpected bool
+	// Idempotent declares that executing the operation twice is
+	// equivalent to executing it once, making it eligible for retry even
+	// after the request may have reached the server (see the ORB's
+	// resilience policy). Callers that cannot guarantee this leave it
+	// false: only failures before the request hit the wire are retried.
+	Idempotent bool
 	// Order is the byte order Args are encoded in.
 	Order cdr.ByteOrder
 }

@@ -15,6 +15,7 @@ import (
 	"maqs/internal/giop"
 	"maqs/internal/netsim"
 	"maqs/internal/obs"
+	"maqs/internal/resilience"
 )
 
 // Options configures an ORB.
@@ -36,6 +37,10 @@ type Options struct {
 	// Observability enables tracing and metrics on this ORB. Nil (the
 	// default) keeps the invocation path on its uninstrumented fast path.
 	Observability *obs.Observability
+	// Resilience enables client-side retry, backoff and per-endpoint
+	// circuit breaking on every invocation. Nil (the default) keeps the
+	// pre-policy behaviour: one attempt, no health tracking.
+	Resilience *resilience.Policy
 }
 
 func (o Options) withDefaults() Options {
@@ -57,6 +62,7 @@ type ORB struct {
 	opts    Options
 	iiop    *iiopModule
 	adapter *Adapter
+	res     *resilienceState // nil when no resilience policy is installed
 
 	// obsState holds the installed observability bundle together with
 	// the pre-resolved server-path instruments; an atomic pointer keeps
@@ -106,6 +112,9 @@ func New(opts Options) *ORB {
 	o.router = RouterFunc(func(*Invocation) (TransportModule, error) { return o.iiop, nil })
 	if opts.Observability != nil {
 		o.SetObservability(opts.Observability)
+	}
+	if opts.Resilience != nil {
+		o.res = newResilienceState(o, opts.Resilience)
 	}
 	return o
 }
@@ -219,7 +228,7 @@ func (o *ORB) Invoke(ctx context.Context, inv *Invocation) (*Outcome, error) {
 		ctx, cancel = context.WithTimeout(ctx, o.opts.RequestTimeout)
 		defer cancel()
 	}
-	out, err := mod.Send(ctx, inv)
+	out, err := o.send(ctx, mod, inv)
 	// Follow LOCATION_FORWARD replies (bounded, to break forward loops).
 	for hops := 0; err == nil && out != nil && out.Status == giop.ReplyLocationForward && inv.ResponseExpected; hops++ {
 		if hops == maxForwards {
@@ -232,7 +241,7 @@ func (o *ORB) Invoke(ctx context.Context, inv *Invocation) (*Outcome, error) {
 		}
 		forwarded := inv.Clone()
 		forwarded.Target = target
-		out, err = mod.Send(ctx, forwarded)
+		out, err = o.send(ctx, mod, forwarded)
 	}
 	return out, err
 }

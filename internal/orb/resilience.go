@@ -1,0 +1,213 @@
+package orb
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"time"
+
+	"maqs/internal/obs"
+	"maqs/internal/resilience"
+)
+
+// NotSentError marks a failure that happened before the request reached
+// the wire (dial failure, pooled connection already dead, breaker
+// rejection). Such attempts are always safe to retry, even for
+// non-idempotent operations, because the server cannot have executed
+// anything. Unwrap keeps errors.As/Is working on the underlying
+// exception.
+type NotSentError struct{ Err error }
+
+// Error implements error.
+func (e *NotSentError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying failure.
+func (e *NotSentError) Unwrap() error { return e.Err }
+
+// notSent wraps err as a pre-wire failure (nil stays nil).
+func notSent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &NotSentError{Err: err}
+}
+
+// isNotSent reports whether err is (or wraps) a pre-wire failure.
+func isNotSent(err error) bool {
+	var ns *NotSentError
+	return errors.As(err, &ns)
+}
+
+// resilienceState is the per-ORB resilience machinery, built once at
+// construction from Options.Resilience.
+type resilienceState struct {
+	policy   resilience.Policy
+	breakers *resilience.Group
+	rand     *resilience.Rand
+}
+
+func newResilienceState(o *ORB, p *resilience.Policy) *resilienceState {
+	pol := p.Normalized()
+	s := &resilienceState{
+		policy:   pol,
+		breakers: resilience.NewGroup(pol.Breaker),
+		rand:     resilience.NewRand(pol.Seed),
+	}
+	// Fan breaker transitions into the metrics registry and log. The
+	// registry handle is re-read per transition so late
+	// SetObservability installs are picked up.
+	s.breakers.Subscribe(func(tr resilience.Transition) {
+		m := o.Metrics()
+		m.Counter("maqs_breaker_transitions_total").Inc()
+		switch {
+		case tr.To == resilience.Open:
+			m.Gauge("maqs_breaker_open").Add(1)
+		case tr.From == resilience.Open:
+			m.Gauge("maqs_breaker_open").Add(-1)
+		}
+		o.opts.Logger.Info("orb: breaker transition",
+			"endpoint", tr.Endpoint, "from", tr.From.String(), "to", tr.To.String())
+	})
+	return s
+}
+
+// transportFailure reports whether an attempt failed at the transport
+// level — the class of failure the breaker counts and retry may absorb.
+// Connection teardown surfaces as an exceptional Outcome (err == nil),
+// so both channels are inspected. Application-level exceptions
+// (BAD_OPERATION, user exceptions, ...) are a healthy transport.
+func transportFailure(out *Outcome, err error) bool {
+	if err != nil {
+		var sys *SystemException
+		if errors.As(err, &sys) {
+			return transportExc(sys)
+		}
+		// A deadline blown waiting on a silent peer is a transport
+		// failure; the caller abandoning the call (Canceled) is not.
+		return errors.Is(err, context.DeadlineExceeded)
+	}
+	if out == nil {
+		return false
+	}
+	var sys *SystemException
+	if e := out.Err(); errors.As(e, &sys) {
+		return transportExc(sys)
+	}
+	return false
+}
+
+func transportExc(sys *SystemException) bool {
+	switch sys.Name {
+	case ExcCommFailure, ExcTransient, ExcTimeout:
+		return true
+	}
+	return false
+}
+
+// send delivers inv through mod, applying the ORB's resilience policy:
+// per-endpoint circuit breaking, idempotency-gated retry with
+// exponential backoff + jitter, per-attempt timeouts, and deadline
+// budget propagation. With no policy installed it is a plain Send.
+func (o *ORB) send(ctx context.Context, mod TransportModule, inv *Invocation) (*Outcome, error) {
+	s := o.res
+	if s == nil {
+		return mod.Send(ctx, inv)
+	}
+	addr := inv.Target.Profile.Addr()
+	br := s.breakers.Get(addr)
+	sp := obs.SpanFromContext(ctx)
+
+	var out *Outcome
+	var err error
+	for attempt := 0; ; attempt++ {
+		if !br.Allow() {
+			rej := notSent(NewSystemException(ExcTransient, 40, "circuit breaker open for %s", addr))
+			if attempt == 0 {
+				sp.AddEvent("breaker.state",
+					obs.Attr{Key: "endpoint", Value: addr},
+					obs.Attr{Key: "decision", Value: "rejected"})
+			}
+			// A rejected attempt is not recorded: the breaker heals on
+			// probe outcomes, not on the load it sheds.
+			if out == nil && err == nil {
+				err = rej
+			}
+			return out, err
+		}
+
+		stBefore := br.State()
+		attemptCtx, cancel := ctx, context.CancelFunc(nil)
+		if pat := s.policy.Retry.PerAttemptTimeout; pat > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, pat)
+		}
+		// Each attempt works on its own clone: modules rewrite Contexts
+		// (and replace Args) in place, and a retried invocation must
+		// start from the caller's original.
+		out, err = mod.Send(attemptCtx, inv.Clone())
+		if cancel != nil {
+			cancel()
+		}
+
+		failed := transportFailure(out, err)
+		br.Record(!failed)
+		if st := br.State(); st != stBefore {
+			sp.AddEvent("breaker.state",
+				obs.Attr{Key: "endpoint", Value: addr},
+				obs.Attr{Key: "from", Value: stBefore.String()},
+				obs.Attr{Key: "to", Value: st.String()})
+		}
+		if !failed {
+			return out, err
+		}
+
+		// The attempt failed at the transport level. Retry only while
+		// attempts remain, the failure cannot have executed server-side
+		// work (pre-wire) or the operation is declared idempotent, and
+		// the backoff still fits the caller's deadline budget.
+		if attempt+1 >= s.policy.Retry.MaxAttempts {
+			return out, err
+		}
+		if !isNotSent(err) && !inv.Idempotent {
+			return out, err
+		}
+		if ctx.Err() != nil {
+			return out, err
+		}
+		delay := s.policy.Retry.Backoff(attempt, s.rand.Float64)
+		if dl, ok := ctx.Deadline(); ok && time.Now().Add(delay).After(dl) {
+			return out, err
+		}
+
+		sp.AddEvent("retry.attempt",
+			obs.Attr{Key: "attempt", Value: strconv.Itoa(attempt + 2)},
+			obs.Attr{Key: "backoff", Value: delay.String()},
+			obs.Attr{Key: "endpoint", Value: addr})
+		o.Metrics().Counter("maqs_client_retries_total").Inc()
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return out, err
+		}
+	}
+}
+
+// Breakers exposes the per-endpoint circuit breakers so the QoS layer
+// can react to health transitions (nil when no resilience policy is
+// installed).
+func (o *ORB) Breakers() *resilience.Group {
+	if o.res == nil {
+		return nil
+	}
+	return o.res.breakers
+}
+
+// ResiliencePolicy reports the normalized policy in effect, or nil.
+func (o *ORB) ResiliencePolicy() *resilience.Policy {
+	if o.res == nil {
+		return nil
+	}
+	p := o.res.policy
+	return &p
+}

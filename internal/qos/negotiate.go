@@ -179,8 +179,15 @@ func (s *Stub) Renegotiate(ctx context.Context, proposal *Proposal) (*Contract, 
 		return nil, fmt.Errorf("qos: decoding renegotiated contract: %w", err)
 	}
 
+	// Swap in a copy rather than mutating the shared binding: concurrent
+	// invocations hold the old snapshot and must not observe a contract
+	// changing under them.
 	s.mu.Lock()
-	s.binding.Contract = contract
+	if s.binding != nil {
+		fresh := *s.binding
+		fresh.Contract = contract
+		s.binding = &fresh
+	}
 	mediator := s.mediator
 	s.mu.Unlock()
 	if am, ok := mediator.(AdaptiveMediator); ok {

@@ -343,15 +343,25 @@ func (s *ServerSkeleton) renegotiate(req *orb.ServerRequest) error {
 		return err
 	}
 
+	// Swap in a fresh binding object instead of mutating the shared one:
+	// requests already dispatched keep their consistent snapshot (old
+	// contract, old epoch) while new requests resolve the adapted binding.
 	s.mu.Lock()
 	contract.Epoch = binding.Contract.Epoch + 1
-	old := binding.Contract
-	binding.Contract = contract
+	fresh := &Binding{
+		ID:             binding.ID,
+		Characteristic: binding.Characteristic,
+		Contract:       contract,
+		Module:         binding.Module,
+	}
+	s.bindings[fresh.ID] = fresh
 	s.mu.Unlock()
 
-	if err := impl.BindingUp(binding); err != nil {
+	if err := impl.BindingUp(fresh); err != nil {
 		s.mu.Lock()
-		binding.Contract = old
+		if s.bindings[fresh.ID] == fresh {
+			s.bindings[fresh.ID] = binding
+		}
 		s.mu.Unlock()
 		return negotiationFailure(req, &NegotiationError{
 			Characteristic: proposal.Characteristic,

@@ -37,11 +37,12 @@ type Stub struct {
 	orb      *orb.ORB
 	registry *Registry
 
-	mu        sync.RWMutex
-	target    *ior.IOR
-	binding   *Binding
-	mediator  Mediator
-	observers []Observer
+	mu         sync.RWMutex
+	target     *ior.IOR
+	binding    *Binding
+	mediator   Mediator
+	observers  []Observer
+	idempotent map[string]bool
 }
 
 // NewStub wraps a target reference for QoS-capable invocation, using the
@@ -125,6 +126,21 @@ func (s *Stub) AddObserver(o Observer) {
 	s.observers = append(observers, o)
 }
 
+// DeclareIdempotent marks operations as safe to execute more than once.
+// The ORB's resilience policy may then retry them even after the request
+// reached the server; undeclared operations are only retried on failures
+// that provably happened before the request hit the wire.
+func (s *Stub) DeclareIdempotent(ops ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.idempotent == nil {
+		s.idempotent = make(map[string]bool, len(ops))
+	}
+	for _, op := range ops {
+		s.idempotent[op] = true
+	}
+}
+
 // install records a fresh binding and its mediator.
 func (s *Stub) install(b *Binding, m Mediator) {
 	s.mu.Lock()
@@ -150,6 +166,7 @@ func (s *Stub) clearBinding() (Mediator, *Binding) {
 func (s *Stub) Invoke(ctx context.Context, op string, args []byte, oneway bool) (*orb.Outcome, error) {
 	s.mu.RLock()
 	target, binding, mediator, observers := s.target, s.binding, s.mediator, s.observers
+	idempotent := s.idempotent[op]
 	s.mu.RUnlock()
 
 	ctx, span := s.orb.Tracer().StartSpan(ctx, "client.call")
@@ -166,6 +183,7 @@ func (s *Stub) Invoke(ctx context.Context, op string, args []byte, oneway bool) 
 		Operation:        op,
 		Args:             args,
 		ResponseExpected: !oneway,
+		Idempotent:       idempotent,
 		Order:            s.orb.Order(),
 	}
 	if binding != nil {

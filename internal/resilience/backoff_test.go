@@ -1,0 +1,82 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministicSteps(t *testing.T) {
+	r := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second, Multiplier: 2, Jitter: NoJitter}
+	r = Policy{Retry: r}.Normalized().Retry
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond, 80 * time.Millisecond}
+	for i, w := range want {
+		if got := r.Backoff(i, nil); got != w {
+			t.Fatalf("Backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	r := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: 10 * time.Second, Multiplier: 2, Jitter: 0.2}
+	rnd := NewRand(42)
+	for attempt := 0; attempt < 5; attempt++ {
+		base := float64(r.BaseDelay) * pow(r.Multiplier, attempt)
+		lo := time.Duration(base * (1 - r.Jitter))
+		hi := time.Duration(base * (1 + r.Jitter))
+		for i := 0; i < 200; i++ {
+			d := r.Backoff(attempt, rnd.Float64)
+			if d < lo || d > hi {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, lo, hi)
+			}
+		}
+	}
+}
+
+func TestBackoffMaxDelayCap(t *testing.T) {
+	r := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond, Multiplier: 2, Jitter: NoJitter}
+	if got := r.Backoff(10, nil); got != 50*time.Millisecond {
+		t.Fatalf("capped backoff = %v, want 50ms", got)
+	}
+	// Jitter applies on top of the cap: bound is MaxDelay*(1+J).
+	j := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond, Multiplier: 2, Jitter: 0.5}
+	rnd := NewRand(7)
+	for i := 0; i < 200; i++ {
+		d := j.Backoff(10, rnd.Float64)
+		if d < 25*time.Millisecond || d > 75*time.Millisecond {
+			t.Fatalf("jittered capped backoff %v outside [25ms, 75ms]", d)
+		}
+	}
+}
+
+func TestBackoffSeededReproducible(t *testing.T) {
+	r := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second, Multiplier: 2, Jitter: 0.2}
+	a, b := NewRand(99), NewRand(99)
+	for i := 0; i < 20; i++ {
+		if da, db := r.Backoff(i%4, a.Float64), r.Backoff(i%4, b.Float64); da != db {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, da, db)
+		}
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	p := Policy{}.Normalized()
+	if p.Retry.MaxAttempts != 3 || p.Retry.BaseDelay != 10*time.Millisecond ||
+		p.Retry.MaxDelay != time.Second || p.Retry.Multiplier != 2.0 || p.Retry.Jitter != 0.2 {
+		t.Fatalf("retry defaults wrong: %+v", p.Retry)
+	}
+	if p.Breaker.FailureThreshold != 5 || p.Breaker.OpenTimeout != 2*time.Second || p.Breaker.HalfOpenProbes != 1 {
+		t.Fatalf("breaker defaults wrong: %+v", p.Breaker)
+	}
+	q := Policy{Retry: RetryPolicy{Jitter: NoJitter}}.Normalized()
+	if q.Retry.Jitter != 0 {
+		t.Fatalf("NoJitter sentinel not honoured: %v", q.Retry.Jitter)
+	}
+}
+
+func pow(base float64, n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= base
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package resilience
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker state.
+type State int
+
+// The three breaker states, transitioning
+// Closed → Open (FailureThreshold consecutive failures),
+// Open → HalfOpen (OpenTimeout elapsed),
+// HalfOpen → Closed (HalfOpenProbes consecutive successes) or
+// HalfOpen → Open (any probe failure).
+const (
+	Closed State = iota
+	Open
+	HalfOpen
+)
+
+// String renders the state for logs and metrics.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Transition is one breaker state change, reported to subscribers.
+type Transition struct {
+	// Endpoint is the address the breaker guards.
+	Endpoint string
+	// From and To are the states of the change.
+	From, To State
+	// At is when the transition happened.
+	At time.Time
+}
+
+// Breaker is a per-endpoint circuit breaker tracking transport health.
+// The caller asks Allow before an attempt and Records the attempt's
+// outcome; transport failures count, application-level exceptions do not
+// (a server answering with BAD_OPERATION is healthy).
+type Breaker struct {
+	endpoint string
+	policy   BreakerPolicy
+	notify   func(Transition)
+
+	mu           sync.Mutex
+	state        State
+	failures     int       // consecutive failures while Closed
+	openedAt     time.Time // when the breaker last opened
+	probes       int       // probes admitted while HalfOpen
+	probeSuccess int       // consecutive probe successes while HalfOpen
+}
+
+// newBreaker constructs a closed breaker; notify (may be nil) observes
+// transitions and is called outside the breaker lock.
+func newBreaker(endpoint string, policy BreakerPolicy, notify func(Transition)) *Breaker {
+	return &Breaker{endpoint: endpoint, policy: policy, notify: notify}
+}
+
+// State reports the current state (Open flips to HalfOpen lazily on the
+// next Allow, so a just-elapsed OpenTimeout may still read Open).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether an attempt may proceed. In the half-open state
+// at most HalfOpenProbes attempts are admitted until their outcomes are
+// recorded.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	var tr *Transition
+	allowed := false
+	switch b.state {
+	case Closed:
+		allowed = true
+	case Open:
+		if time.Since(b.openedAt) >= b.policy.OpenTimeout {
+			tr = b.transitionLocked(HalfOpen)
+			b.probes = 1
+			allowed = true
+		}
+	case HalfOpen:
+		if b.probes < b.policy.HalfOpenProbes {
+			b.probes++
+			allowed = true
+		}
+	}
+	b.mu.Unlock()
+	b.emit(tr)
+	return allowed
+}
+
+// Record feeds one attempt outcome back. success means the attempt saw
+// no transport-level failure.
+func (b *Breaker) Record(success bool) {
+	b.mu.Lock()
+	var tr *Transition
+	switch b.state {
+	case Closed:
+		if success {
+			b.failures = 0
+		} else {
+			b.failures++
+			if b.failures >= b.policy.FailureThreshold {
+				tr = b.transitionLocked(Open)
+			}
+		}
+	case HalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if success {
+			b.probeSuccess++
+			if b.probeSuccess >= b.policy.HalfOpenProbes {
+				tr = b.transitionLocked(Closed)
+			}
+		} else {
+			tr = b.transitionLocked(Open)
+		}
+	case Open:
+		// A straggler attempt admitted before the breaker opened; its
+		// outcome no longer matters.
+	}
+	b.mu.Unlock()
+	b.emit(tr)
+}
+
+// transitionLocked moves to state to and returns the Transition to emit
+// once the lock is released.
+func (b *Breaker) transitionLocked(to State) *Transition {
+	tr := &Transition{Endpoint: b.endpoint, From: b.state, To: to, At: time.Now()}
+	b.state = to
+	switch to {
+	case Open:
+		b.openedAt = tr.At
+		b.failures = 0
+		b.probes = 0
+		b.probeSuccess = 0
+	case HalfOpen:
+		b.probes = 0
+		b.probeSuccess = 0
+	case Closed:
+		b.failures = 0
+		b.probes = 0
+		b.probeSuccess = 0
+	}
+	return tr
+}
+
+func (b *Breaker) emit(tr *Transition) {
+	if tr != nil && b.notify != nil {
+		b.notify(*tr)
+	}
+}
+
+// Group holds one breaker per endpoint and fans transitions out to
+// subscribers (metrics, logging, the QoS degrader).
+type Group struct {
+	policy BreakerPolicy
+
+	mu       sync.Mutex
+	breakers map[string]*Breaker
+	subs     []func(Transition)
+}
+
+// NewGroup constructs an empty breaker group under the given policy.
+func NewGroup(policy BreakerPolicy) *Group {
+	return &Group{policy: policy, breakers: make(map[string]*Breaker)}
+}
+
+// Get returns the breaker guarding endpoint, creating it closed on
+// first use.
+func (g *Group) Get(endpoint string) *Breaker {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b, ok := g.breakers[endpoint]
+	if !ok {
+		b = newBreaker(endpoint, g.policy, g.dispatch)
+		g.breakers[endpoint] = b
+	}
+	return b
+}
+
+// Subscribe registers a transition observer. Observers run synchronously
+// on the recording goroutine and must not invoke through the same ORB
+// inline (schedule a goroutine for reactions that re-enter the
+// invocation path, as qos.Degrader does).
+func (g *Group) Subscribe(fn func(Transition)) {
+	if fn == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.subs = append(g.subs, fn)
+}
+
+// Endpoints lists the endpoints with a breaker, sorted.
+func (g *Group) Endpoints() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	eps := make([]string, 0, len(g.breakers))
+	for ep := range g.breakers {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	return eps
+}
+
+func (g *Group) dispatch(tr Transition) {
+	g.mu.Lock()
+	subs := append([]func(Transition){}, g.subs...)
+	g.mu.Unlock()
+	for _, fn := range subs {
+		fn(tr)
+	}
+}

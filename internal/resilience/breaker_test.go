@@ -1,0 +1,175 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func testBreakerPolicy() BreakerPolicy {
+	return BreakerPolicy{FailureThreshold: 3, OpenTimeout: 30 * time.Millisecond, HalfOpenProbes: 1}
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b := newBreaker("server:9000", testBreakerPolicy(), nil)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected attempt %d", i)
+		}
+		b.Record(false)
+		if b.State() != Closed {
+			t.Fatalf("breaker opened early after %d failures", i+1)
+		}
+	}
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("breaker not open after 3 consecutive failures: %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted an attempt before OpenTimeout")
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b := newBreaker("server:9000", testBreakerPolicy(), nil)
+	b.Record(false)
+	b.Record(false)
+	b.Record(true) // resets the consecutive-failure count
+	b.Record(false)
+	b.Record(false)
+	if b.State() != Closed {
+		t.Fatalf("breaker opened despite interleaved success: %v", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbeClosesOnSuccess(t *testing.T) {
+	b := newBreaker("server:9000", testBreakerPolicy(), nil)
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	if b.State() != Open {
+		t.Fatalf("want Open, got %v", b.State())
+	}
+	time.Sleep(35 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker did not admit a probe after OpenTimeout")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("want HalfOpen after timed-out Allow, got %v", b.State())
+	}
+	// Only one probe admitted while the first is outstanding.
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second probe beyond HalfOpenProbes")
+	}
+	b.Record(true)
+	if b.State() != Closed {
+		t.Fatalf("successful probe did not close breaker: %v", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("re-closed breaker rejected an attempt")
+	}
+}
+
+func TestBreakerHalfOpenProbeReopensOnFailure(t *testing.T) {
+	b := newBreaker("server:9000", testBreakerPolicy(), nil)
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	time.Sleep(35 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker did not admit a probe after OpenTimeout")
+	}
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("failed probe did not re-open breaker: %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted an attempt immediately")
+	}
+}
+
+func TestBreakerMultiProbePolicy(t *testing.T) {
+	pol := BreakerPolicy{FailureThreshold: 1, OpenTimeout: 20 * time.Millisecond, HalfOpenProbes: 2}
+	b := newBreaker("server:9000", pol, nil)
+	b.Record(false)
+	time.Sleep(25 * time.Millisecond)
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("half-open breaker did not admit 2 probes")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a 3rd probe")
+	}
+	b.Record(true)
+	if b.State() != HalfOpen {
+		t.Fatalf("breaker closed after 1 of 2 required probe successes: %v", b.State())
+	}
+	b.Record(true)
+	if b.State() != Closed {
+		t.Fatalf("breaker not closed after 2 probe successes: %v", b.State())
+	}
+}
+
+func TestGroupTransitionsAndSubscribers(t *testing.T) {
+	g := NewGroup(BreakerPolicy{FailureThreshold: 2, OpenTimeout: 20 * time.Millisecond, HalfOpenProbes: 1})
+	var mu sync.Mutex
+	var seen []Transition
+	g.Subscribe(func(tr Transition) {
+		mu.Lock()
+		seen = append(seen, tr)
+		mu.Unlock()
+	})
+
+	b := g.Get("server:9000")
+	if again := g.Get("server:9000"); again != b {
+		t.Fatal("Get returned a different breaker for the same endpoint")
+	}
+	b.Record(false)
+	b.Record(false) // → Open
+	time.Sleep(25 * time.Millisecond)
+	if !b.Allow() { // → HalfOpen
+		t.Fatal("probe not admitted")
+	}
+	b.Record(true) // → Closed
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 3 {
+		t.Fatalf("want 3 transitions, got %d: %+v", len(seen), seen)
+	}
+	wantStates := [][2]State{{Closed, Open}, {Open, HalfOpen}, {HalfOpen, Closed}}
+	for i, w := range wantStates {
+		if seen[i].From != w[0] || seen[i].To != w[1] {
+			t.Fatalf("transition %d = %v→%v, want %v→%v", i, seen[i].From, seen[i].To, w[0], w[1])
+		}
+		if seen[i].Endpoint != "server:9000" {
+			t.Fatalf("transition %d endpoint = %q", i, seen[i].Endpoint)
+		}
+		if seen[i].At.IsZero() {
+			t.Fatalf("transition %d has zero timestamp", i)
+		}
+	}
+	if eps := g.Endpoints(); len(eps) != 1 || eps[0] != "server:9000" {
+		t.Fatalf("Endpoints() = %v", eps)
+	}
+}
+
+func TestBreakerConcurrentUse(t *testing.T) {
+	g := NewGroup(BreakerPolicy{FailureThreshold: 5, OpenTimeout: 5 * time.Millisecond, HalfOpenProbes: 1})
+	g.Subscribe(func(Transition) {})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			b := g.Get("server:9000")
+			for j := 0; j < 200; j++ {
+				if b.Allow() {
+					b.Record(j%3 != 0)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// No assertion beyond race-freedom and not deadlocking.
+	_ = g.Get("server:9000").State()
+}

@@ -1,0 +1,15 @@
+// Package resilience implements the client-side failure policies of the
+// framework: retry with exponential backoff and jitter, and per-endpoint
+// circuit breaking with health tracking.
+//
+// The paper's thesis is that reacting to QoS degradation is a middleware
+// concern, not an application concern: the mediator/stub pair is where
+// rebinding, renegotiation and degradation belong (§3–§4). This package
+// supplies the mechanical half of that reaction — policies the ORB
+// threads through every invocation so that transient transport failures
+// are absorbed below the application, while sustained failures surface
+// fast (breaker open) and feed the QoS layer's renegotiation machinery
+// (see internal/qos.Degrader). Policies are plain data (Policy), applied
+// by the ORB; servant and client code never see them, preserving the
+// separation of concerns the paper argues for.
+package resilience

@@ -42,6 +42,7 @@ import (
 	"maqs/internal/orb"
 	"maqs/internal/qos"
 	"maqs/internal/qos/transport"
+	"maqs/internal/resilience"
 )
 
 // Re-exported core types. The aliases make the framework usable without
@@ -114,6 +115,38 @@ type (
 	Network = netsim.Network
 	// Link describes simulated link characteristics.
 	Link = netsim.Link
+
+	// ResiliencePolicy configures client-side fault handling (retry,
+	// backoff, circuit breaking) for Options.Resilience.
+	ResiliencePolicy = resilience.Policy
+	// RetryPolicy bounds per-invocation retries with backoff.
+	RetryPolicy = resilience.RetryPolicy
+	// BreakerPolicy shapes the per-endpoint circuit breaker.
+	BreakerPolicy = resilience.BreakerPolicy
+	// BreakerState is a circuit breaker state (closed/open/half-open).
+	BreakerState = resilience.State
+	// BreakerTransition is one observed breaker state change.
+	BreakerTransition = resilience.Transition
+
+	// FaultPlan is a deterministic fault-injection schedule for a
+	// simulated Network (see Network.InstallFaults).
+	FaultPlan = netsim.FaultPlan
+	// FaultRule is one rule of a FaultPlan.
+	FaultRule = netsim.FaultRule
+	// FaultInjector executes an installed FaultPlan.
+	FaultInjector = netsim.FaultInjector
+	// FaultStats counts the faults an injector has fired.
+	FaultStats = netsim.FaultStats
+
+	// Degrader walks a QoS contract down a degradation ladder when the
+	// service degrades, and back up on recovery.
+	Degrader = qos.Degrader
+	// DegradeStep is one rung of a degradation ladder.
+	DegradeStep = qos.DegradeStep
+	// Rule declares a QoS violation over monitor statistics.
+	Rule = qos.Rule
+	// Stats is a snapshot of monitor statistics.
+	Stats = qos.Stats
 )
 
 // Value constructors for proposals and contracts.
@@ -138,6 +171,35 @@ var (
 	// NewMetricsObserver builds a Stub observer feeding client metrics
 	// into a registry.
 	NewMetricsObserver = qos.MetricsObserver
+	// DefaultResiliencePolicy returns the stock retry + breaker policy.
+	DefaultResiliencePolicy = resilience.DefaultPolicy
+	// NewDegrader builds a QoS degradation ladder over a stub.
+	NewDegrader = qos.NewDegrader
+)
+
+// Circuit breaker states.
+const (
+	// BreakerClosed lets all invocations through.
+	BreakerClosed = resilience.Closed
+	// BreakerOpen rejects invocations without dialing.
+	BreakerOpen = resilience.Open
+	// BreakerHalfOpen admits a limited number of probes.
+	BreakerHalfOpen = resilience.HalfOpen
+)
+
+// Fault kinds for FaultRule declarations.
+const (
+	// FaultDrop blackholes matching segments.
+	FaultDrop = netsim.FaultDrop
+	// FaultDelay adds latency (plus jitter) to matching segments.
+	FaultDelay = netsim.FaultDelay
+	// FaultCorrupt flips one byte of matching segments.
+	FaultCorrupt = netsim.FaultCorrupt
+	// FaultReset severs the connection carrying a matching segment.
+	FaultReset = netsim.FaultReset
+	// FaultPartition refuses dials and severs traffic between two hosts
+	// for the rule's time window.
+	FaultPartition = netsim.FaultPartition
 )
 
 // Value kinds for ParamOffer declarations.
@@ -185,6 +247,10 @@ type Options struct {
 	// between client and server Systems of a process to collect complete
 	// traces in one collector. Nil keeps the fast uninstrumented path.
 	Observability *obs.Observability
+	// Resilience, when set, installs client-side fault handling on the
+	// ORB: per-invocation retry with exponential backoff and a circuit
+	// breaker per endpoint (see docs/RESILIENCE.md). Nil disables both.
+	Resilience *resilience.Policy
 }
 
 // System bundles one ORB with its QoS transport and characteristic
@@ -210,6 +276,7 @@ func NewSystem(opts Options) (*System, error) {
 		RequestTimeout: opts.RequestTimeout,
 		Logger:         opts.Logger,
 		Observability:  opts.Observability,
+		Resilience:     opts.Resilience,
 	})
 	t := transport.Install(o)
 	registry := qos.NewRegistry()
