@@ -1,13 +1,18 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench chaos clean
+# Benchmark trajectory file produced by `make bench`. Bump the number when a
+# PR meaningfully changes the performance story so the history accumulates
+# (BENCH_1.json, BENCH_2.json, ...): see docs/PERFORMANCE.md.
+BENCH_OUT ?= BENCH_4.json
+
+.PHONY: all check vet build test race bench bench-smoke chaos clean
 
 all: check
 
-# check is the full gate: vet, build everything, race-enabled tests, and
-# the chaos suite (fault injection + resilience) on its own for a
-# readable verdict.
-check: vet build race chaos
+# check is the full gate: vet, build everything, race-enabled tests, the
+# chaos suite (fault injection + resilience) on its own for a readable
+# verdict, and a one-iteration bench smoke so benchmark code can't rot.
+check: vet build race chaos bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,8 +26,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs every benchmark family with allocation accounting and records
+# the parsed results as a JSON trajectory point (see docs/PERFORMANCE.md
+# for the format and how to compare points across PRs).
 bench:
-	$(GO) test -bench=. -benchtime=200ms -run='^$$' .
+	$(GO) test -bench=. -benchmem -benchtime=200ms -run='^$$' . ./internal/orb ./internal/cdr | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+
+# bench-smoke executes each benchmark exactly once: it proves the bench
+# harness still compiles and runs without paying measurement time.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' . ./internal/orb ./internal/cdr
 
 # chaos runs the fault-injection stress tests race-enabled: the seeded
 # FaultPlan chaos run plus the targeted retry/breaker tests.

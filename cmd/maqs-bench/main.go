@@ -10,6 +10,12 @@
 //	maqs-bench -metrics  # run an instrumented demo world, dump JSON
 //	maqs-bench -faults   # chaos mode: demo world under a seeded fault plan
 //
+// Any mode may be combined with -cpuprofile/-memprofile to capture pprof
+// profiles of the run (see docs/PERFORMANCE.md for the workflow):
+//
+//	maqs-bench -cpuprofile cpu.out E1
+//	go tool pprof cpu.out
+//
 // With -metrics, instead of the experiment tables the bench runs a small
 // fully instrumented client/server world (negotiation, compressed calls,
 // renegotiation, release) sharing one observability bundle, and prints
@@ -30,6 +36,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -49,8 +57,37 @@ func run(args []string) int {
 	metrics := fs.Bool("metrics", false, "run an instrumented demo world and dump its observability snapshot as JSON")
 	faults := fs.Bool("faults", false, "run the demo world under a seeded fault plan and report what the resilience layer did")
 	faultCalls := fs.Int("fault-calls", 400, "number of invocations for the -faults chaos run")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to `file` (inspect with go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write an allocation profile taken at exit to `file`")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating cpu profile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "starting cpu profile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "creating mem profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the profile shows steady state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "writing mem profile: %v\n", err)
+			}
+		}()
 	}
 	if *metrics {
 		if err := runMetricsDemo(os.Stdout); err != nil {

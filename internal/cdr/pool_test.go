@@ -1,0 +1,184 @@
+package cdr
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestAcquireEncoderEmpty(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		e := AcquireEncoder(LittleEndian)
+		if e.Len() != 0 {
+			t.Fatalf("iteration %d: acquired encoder has Len() = %d, want 0", i, e.Len())
+		}
+		if e.Order() != LittleEndian {
+			t.Fatalf("iteration %d: acquired encoder order = %v", i, e.Order())
+		}
+		e.WriteString("dirty the buffer")
+		e.Release()
+	}
+}
+
+func TestReleaseNilEncoder(t *testing.T) {
+	var e *Encoder
+	e.Release() // must not panic
+}
+
+// TestReleaseNoAliasing checks the ownership rule documented on Release:
+// bytes copied out of an encoder before Release stay intact however the
+// recycled encoder is reused, because consumers copy rather than alias.
+func TestReleaseNoAliasing(t *testing.T) {
+	e := AcquireEncoder(BigEndian)
+	e.WriteString("first frame payload")
+	kept := append([]byte(nil), e.Bytes()...)
+	e.Release()
+
+	// Reuse the pooled encoder (likely the same backing array) with
+	// different contents of the same length.
+	for i := 0; i < 4; i++ {
+		e2 := AcquireEncoder(BigEndian)
+		e2.WriteString("XXXXX frame payload")
+		e2.Release()
+	}
+
+	d := NewDecoder(kept, BigEndian)
+	got, err := d.ReadString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "first frame payload" {
+		t.Fatalf("copied bytes changed after pool reuse: %q", got)
+	}
+}
+
+// TestReleaseDropsOversizedBuffer verifies that a buffer grown past
+// maxPooledCapacity is not pinned by the pool: encoders coming out of
+// AcquireEncoder never carry a larger backing array.
+func TestReleaseDropsOversizedBuffer(t *testing.T) {
+	e := AcquireEncoder(BigEndian)
+	e.WriteOctets(make([]byte, maxPooledCapacity+1))
+	e.Release()
+	for i := 0; i < 16; i++ {
+		e := AcquireEncoder(BigEndian)
+		if cap(e.buf) > maxPooledCapacity {
+			t.Fatalf("acquired encoder carries %d-byte buffer, cap is %d", cap(e.buf), maxPooledCapacity)
+		}
+		e.Release()
+	}
+}
+
+func TestSkipReservesPrefix(t *testing.T) {
+	e := AcquireEncoder(BigEndian)
+	defer e.Release()
+	e.Skip(12)
+	// Alignment must restart after the reserved prefix: the first ULong
+	// lands immediately at offset 12, not padded to the next multiple of 4
+	// of some other base.
+	e.WriteOctet(0xAA)
+	e.WriteULong(7)
+	want := append(make([]byte, 12), 0xAA, 0, 0, 0, 0, 0, 0, 7)
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Fatalf("encoded = %x, want %x", e.Bytes(), want)
+	}
+	// Large skips cross the zero-chunk boundary.
+	e2 := AcquireEncoder(BigEndian)
+	defer e2.Release()
+	e2.Skip(200)
+	if e2.Len() != 200 {
+		t.Fatalf("Skip(200) produced %d bytes", e2.Len())
+	}
+	for i, b := range e2.Bytes() {
+		if b != 0 {
+			t.Fatalf("Skip left nonzero byte at %d", i)
+		}
+	}
+}
+
+// TestConcurrentPoolIntegrity hammers the pool from many goroutines, each
+// verifying that the encoder it holds only ever contains its own writes.
+// Run with -race to catch sharing bugs.
+func TestConcurrentPoolIntegrity(t *testing.T) {
+	const goroutines = 8
+	const rounds = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			payload := fmt.Sprintf("goroutine %d payload", id)
+			for i := 0; i < rounds; i++ {
+				e := AcquireEncoder(LittleEndian)
+				e.WriteString(payload)
+				e.WriteULong(uint32(i))
+				d := NewDecoder(e.Bytes(), LittleEndian)
+				s, err := d.ReadString()
+				if err != nil || s != payload {
+					t.Errorf("goroutine %d round %d: read %q, %v", id, i, s, err)
+					e.Release()
+					return
+				}
+				n, err := d.ReadULong()
+				if err != nil || n != uint32(i) {
+					t.Errorf("goroutine %d round %d: counter %d, %v", id, i, n, err)
+					e.Release()
+					return
+				}
+				e.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestEncodeDecodeAllocs is the alloc-regression gate for the marshalling
+// core: a pooled encode of a typical request body plus a decode pass must
+// stay within a small constant allocation budget (the decoder value, the
+// decoded string, and the decoded octet copy). See docs/PERFORMANCE.md.
+func TestEncodeDecodeAllocs(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x5A}, 256)
+	avg := testing.AllocsPerRun(200, func() {
+		e := AcquireEncoder(BigEndian)
+		e.WriteString("echo")
+		e.WriteULong(42)
+		e.WriteOctets(payload)
+		d := NewDecoder(e.Bytes(), BigEndian)
+		if _, err := d.ReadString(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.ReadULong(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.ReadOctets(); err != nil {
+			t.Fatal(err)
+		}
+		e.Release()
+	})
+	const maxAllocs = 4
+	if avg > maxAllocs {
+		t.Fatalf("encode-decode round trip allocates %.1f objects/op, budget is %d", avg, maxAllocs)
+	}
+}
+
+func BenchmarkEncoderPooled(b *testing.B) {
+	payload := bytes.Repeat([]byte{0x5A}, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := AcquireEncoder(BigEndian)
+		e.WriteString("echo")
+		e.WriteOctets(payload)
+		e.Release()
+	}
+}
+
+func BenchmarkEncoderUnpooled(b *testing.B) {
+	payload := bytes.Repeat([]byte{0x5A}, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEncoder(BigEndian)
+		e.WriteString("echo")
+		e.WriteOctets(payload)
+		_ = e.Bytes()
+	}
+}

@@ -46,31 +46,29 @@ func WriteMessageFragmented(w io.Writer, t MsgType, order cdr.ByteOrder, body []
 	}
 }
 
-// writeFrame writes one frame with the given more-fragments flag.
+// writeFrame writes one frame with the given more-fragments flag. Header
+// and body are coalesced into a pooled scratch buffer and issued as a
+// single Write: one syscall per frame, and no torn frames if the transport
+// ever interleaves writers.
 func writeFrame(w io.Writer, t MsgType, order cdr.ByteOrder, body []byte, more bool) error {
 	if len(body) > MaxMessageSize {
 		return fmt.Errorf("giop: fragment body %d exceeds limit", len(body))
 	}
-	hdr := make([]byte, HeaderSize)
-	copy(hdr, Magic)
-	hdr[4] = VersionMajor
-	hdr[5] = VersionMinor
-	hdr[6] = byte(order) & 1
-	if more {
-		hdr[6] |= flagMoreFragments
+	bp := framePool.Get().(*[]byte)
+	buf := *bp
+	if cap(buf) < HeaderSize+len(body) {
+		buf = make([]byte, 0, HeaderSize+len(body))
 	}
-	hdr[7] = byte(t)
-	size := len(body)
-	if order == cdr.LittleEndian {
-		hdr[8], hdr[9], hdr[10], hdr[11] = byte(size), byte(size>>8), byte(size>>16), byte(size>>24)
-	} else {
-		hdr[8], hdr[9], hdr[10], hdr[11] = byte(size>>24), byte(size>>16), byte(size>>8), byte(size)
+	buf = buf[:HeaderSize]
+	putHeader(buf, t, order, len(body), more)
+	buf = append(buf, body...)
+	_, err := w.Write(buf)
+	if cap(buf) <= maxPooledFrame {
+		*bp = buf[:0]
+		framePool.Put(bp)
 	}
-	if _, err := w.Write(hdr); err != nil {
-		return fmt.Errorf("giop: writing fragment header: %w", err)
-	}
-	if _, err := w.Write(body); err != nil {
-		return fmt.Errorf("giop: writing fragment body: %w", err)
+	if err != nil {
+		return fmt.Errorf("giop: writing frame: %w", err)
 	}
 	return nil
 }
@@ -78,6 +76,14 @@ func writeFrame(w io.Writer, t MsgType, order cdr.ByteOrder, body []byte, more b
 // readFrame reads one frame and reports the more-fragments flag.
 func readFrame(r io.Reader) (*Message, bool, error) {
 	hdr := make([]byte, HeaderSize)
+	return readFrameInto(r, hdr)
+}
+
+// readFrameInto is readFrame with a caller-supplied header scratch buffer
+// (len >= HeaderSize), so per-connection read loops avoid one allocation
+// per frame.
+func readFrameInto(r io.Reader, hdr []byte) (*Message, bool, error) {
+	hdr = hdr[:HeaderSize]
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, false, err
 	}
@@ -110,7 +116,14 @@ func readFrame(r io.Reader) (*Message, bool, error) {
 // reassembling fragmented frames. Non-fragmented streams behave exactly
 // like ReadMessage.
 func ReadMessageReassembled(r io.Reader) (*Message, error) {
-	msg, more, err := readFrame(r)
+	var hdr [HeaderSize]byte
+	return readReassembled(r, hdr[:])
+}
+
+// readReassembled implements ReadMessageReassembled over a caller-supplied
+// header scratch buffer.
+func readReassembled(r io.Reader, hdr []byte) (*Message, error) {
+	msg, more, err := readFrameInto(r, hdr)
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +135,7 @@ func ReadMessageReassembled(r io.Reader) (*Message, error) {
 	}
 	total := len(msg.Body)
 	for more {
-		frag, m, err := readFrame(r)
+		frag, m, err := readFrameInto(r, hdr)
 		if err != nil {
 			return nil, fmt.Errorf("giop: reading continuation fragment: %w", err)
 		}

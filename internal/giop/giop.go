@@ -12,6 +12,7 @@ package giop
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"maqs/internal/cdr"
 )
@@ -103,64 +104,101 @@ func (m *Message) Decoder() *cdr.Decoder {
 	return cdr.NewDecoder(m.Body, m.Order)
 }
 
+// putHeader renders the fixed 12-octet GIOP header into dst[:HeaderSize].
+func putHeader(dst []byte, t MsgType, order cdr.ByteOrder, size int, more bool) {
+	copy(dst, Magic)
+	dst[4] = VersionMajor
+	dst[5] = VersionMinor
+	dst[6] = byte(order) & 1
+	if more {
+		dst[6] |= flagMoreFragments
+	}
+	dst[7] = byte(t)
+	if order == cdr.LittleEndian {
+		dst[8], dst[9], dst[10], dst[11] = byte(size), byte(size>>8), byte(size>>16), byte(size>>24)
+	} else {
+		dst[8], dst[9], dst[10], dst[11] = byte(size>>24), byte(size>>16), byte(size>>8), byte(size)
+	}
+}
+
+// framePool recycles the scratch buffers WriteMessage and writeFrame use to
+// coalesce header and body into a single Write. Buffers above the cap are
+// dropped rather than pooled (see cdr's pooling rationale).
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+const maxPooledFrame = 64 << 10
+
 // WriteMessage frames body as a GIOP message of the given type and writes
-// it to w.
+// it to w as a single Write call: one syscall per message, and no torn
+// frames if the underlying transport interleaves writers.
 func WriteMessage(w io.Writer, t MsgType, order cdr.ByteOrder, body []byte) error {
+	return writeFrame(w, t, order, body, false)
+}
+
+// AcquireFrameEncoder returns a pooled CDR encoder with the 12-octet GIOP
+// header already reserved: marshal the message body into it as usual (CDR
+// alignment starts at the body, exactly as with a plain encoder), then hand
+// it to WriteFrame. Release the encoder after WriteFrame returns.
+func AcquireFrameEncoder(order cdr.ByteOrder) *cdr.Encoder {
+	e := cdr.AcquireEncoder(order)
+	e.Skip(HeaderSize)
+	return e
+}
+
+// WriteFrame finalises the message built in e (an encoder from
+// AcquireFrameEncoder) and writes it to w. The common case patches the
+// header into the reserved prefix and issues exactly one Write — no copy,
+// no allocation. Bodies larger than maxFragment (when > 0) are split into
+// fragment frames, each itself a single write. WriteFrame does not release
+// e; the caller does.
+func WriteFrame(w io.Writer, t MsgType, e *cdr.Encoder, maxFragment int) error {
+	frame := e.Bytes()
+	body := frame[HeaderSize:]
+	if maxFragment > 0 && len(body) > maxFragment {
+		return WriteMessageFragmented(w, t, e.Order(), body, maxFragment)
+	}
 	if len(body) > MaxMessageSize {
 		return fmt.Errorf("giop: message body %d exceeds limit", len(body))
 	}
-	hdr := make([]byte, HeaderSize)
-	copy(hdr, Magic)
-	hdr[4] = VersionMajor
-	hdr[5] = VersionMinor
-	hdr[6] = byte(order) & 1
-	hdr[7] = byte(t)
-	if order == cdr.LittleEndian {
-		hdr[8] = byte(len(body))
-		hdr[9] = byte(len(body) >> 8)
-		hdr[10] = byte(len(body) >> 16)
-		hdr[11] = byte(len(body) >> 24)
-	} else {
-		hdr[8] = byte(len(body) >> 24)
-		hdr[9] = byte(len(body) >> 16)
-		hdr[10] = byte(len(body) >> 8)
-		hdr[11] = byte(len(body))
-	}
-	if _, err := w.Write(hdr); err != nil {
-		return fmt.Errorf("giop: writing header: %w", err)
-	}
-	if _, err := w.Write(body); err != nil {
-		return fmt.Errorf("giop: writing body: %w", err)
+	putHeader(frame, t, e.Order(), len(body), false)
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("giop: writing message: %w", err)
 	}
 	return nil
 }
 
 // ReadMessage reads one framed message from r.
 func ReadMessage(r io.Reader) (*Message, error) {
-	hdr := make([]byte, HeaderSize)
-	if _, err := io.ReadFull(r, hdr); err != nil {
-		return nil, err // preserve io.EOF for clean connection teardown
+	var hdr [HeaderSize]byte
+	msg, more, err := readFrameInto(r, hdr[:])
+	if err != nil {
+		return nil, err
 	}
-	if string(hdr[:4]) != Magic {
-		return nil, fmt.Errorf("giop: bad magic %q", hdr[:4])
+	if more {
+		return nil, fmt.Errorf("giop: unexpected fragmented message")
 	}
-	if hdr[4] != VersionMajor || hdr[5] != VersionMinor {
-		return nil, fmt.Errorf("giop: unsupported version %d.%d", hdr[4], hdr[5])
-	}
-	order := cdr.ByteOrder(hdr[6] & 1)
-	t := MsgType(hdr[7])
-	var size uint32
-	if order == cdr.LittleEndian {
-		size = uint32(hdr[8]) | uint32(hdr[9])<<8 | uint32(hdr[10])<<16 | uint32(hdr[11])<<24
-	} else {
-		size = uint32(hdr[8])<<24 | uint32(hdr[9])<<16 | uint32(hdr[10])<<8 | uint32(hdr[11])
-	}
-	if size > MaxMessageSize {
-		return nil, fmt.Errorf("giop: message body %d exceeds limit", size)
-	}
-	body := make([]byte, size)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, fmt.Errorf("giop: reading body: %w", err)
-	}
-	return &Message{Type: t, Order: order, Body: body}, nil
+	return msg, nil
+}
+
+// FrameReader reads framed messages from one stream, reusing a fixed header
+// scratch buffer across reads. It is the allocation-conscious counterpart
+// of ReadMessageReassembled for long-lived connections; it must only be
+// used from one goroutine at a time (the per-connection read loop).
+type FrameReader struct {
+	r   io.Reader
+	hdr [HeaderSize]byte
+}
+
+// NewFrameReader returns a FrameReader over r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r}
+}
+
+// ReadMessage reads one logical message, transparently reassembling
+// fragmented frames.
+func (fr *FrameReader) ReadMessage() (*Message, error) {
+	return readReassembled(fr.r, fr.hdr[:])
 }

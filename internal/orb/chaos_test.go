@@ -216,8 +216,12 @@ func TestChaosSeededFaultPlan(t *testing.T) {
 		t.Fatal(err)
 	}
 	client := New(Options{
-		Transport:     n.Host("client"),
-		Observability: bundle,
+		Transport: n.Host("client"),
+		// Stripe the endpoint over several connections: the chaos gate
+		// must hold with pooling and striping enabled, and a dropped
+		// segment then only fails one stripe member's in-flight batch.
+		ConnsPerEndpoint: 4,
+		Observability:    bundle,
 		Resilience: &resilience.Policy{
 			Retry: resilience.RetryPolicy{
 				MaxAttempts:       6,

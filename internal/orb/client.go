@@ -7,7 +7,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"maqs/internal/cdr"
 	"maqs/internal/giop"
 	"maqs/internal/obs"
 )
@@ -75,10 +74,19 @@ func (m *iiopModule) Send(ctx context.Context, inv *Invocation) (*Outcome, error
 	return out, err
 }
 
-// pendingReply is the rendezvous for one in-flight request.
+// pendingReply is the rendezvous for one in-flight request. Instances are
+// pooled: the goroutine that receives from ch owns the object and returns
+// it to the pool. Paths that abandon the rendezvous (timeout, write error)
+// leave it to the garbage collector — a racing reply may still be sent to
+// ch, and pooling a channel with a stale Outcome buffered would hand that
+// Outcome to an unrelated future request.
 type pendingReply struct {
 	ch chan *Outcome
 }
+
+var pendingPool = sync.Pool{New: func() any {
+	return &pendingReply{ch: make(chan *Outcome, 1)}
+}}
 
 // clientConn multiplexes concurrent requests over one connection.
 type clientConn struct {
@@ -87,6 +95,10 @@ type clientConn struct {
 	raw  net.Conn
 
 	writeMu sync.Mutex // serialises whole messages
+
+	// inFlight counts registered outstanding replies; the endpoint stripe
+	// uses it for least-pending connection selection.
+	inFlight atomic.Int32
 
 	mu            sync.Mutex
 	nextID        uint32
@@ -118,14 +130,18 @@ func (c *clientConn) register(wantReply bool) (uint32, *pendingReply, error) {
 	if !wantReply {
 		return id, nil, nil
 	}
-	p := &pendingReply{ch: make(chan *Outcome, 1)}
+	p := pendingPool.Get().(*pendingReply)
 	c.pending[id] = p
+	c.inFlight.Add(1)
 	return id, p, nil
 }
 
 func (c *clientConn) unregister(id uint32) {
 	c.mu.Lock()
-	delete(c.pending, id)
+	if _, ok := c.pending[id]; ok {
+		delete(c.pending, id)
+		c.inFlight.Add(-1)
+	}
 	c.mu.Unlock()
 }
 
@@ -139,7 +155,10 @@ func (c *clientConn) roundTrip(ctx context.Context, inv *Invocation) (out *Outco
 	}
 	order := c.orb.opts.Order
 
-	e := cdr.NewEncoder(order)
+	// The request frame is marshalled into a pooled encoder with the GIOP
+	// header reserved up front, so header and body leave in one Write and
+	// the buffer is recycled as soon as the frame is on the wire.
+	e := giop.AcquireFrameEncoder(order)
 	h := giop.RequestHeader{
 		Contexts:         inv.Contexts,
 		RequestID:        id,
@@ -151,11 +170,12 @@ func (c *clientConn) roundTrip(ctx context.Context, inv *Invocation) (out *Outco
 	// The argument payload is spliced in as an octet sequence so its CDR
 	// alignment is self-contained (see package doc).
 	e.WriteOctets(inv.Args)
-	body := e.Bytes()
+	sent = e.Len()
 
 	c.writeMu.Lock()
-	err = giop.WriteMessageFragmented(c.raw, giop.MsgRequest, order, body, c.orb.opts.MaxFragment)
+	err = giop.WriteFrame(c.raw, giop.MsgRequest, e, c.orb.opts.MaxFragment)
 	c.writeMu.Unlock()
+	e.Release()
 	if err != nil {
 		c.close(NewSystemException(ExcCommFailure, 2, "writing request to %s: %v", c.addr, err))
 		if p != nil {
@@ -163,7 +183,6 @@ func (c *clientConn) roundTrip(ctx context.Context, inv *Invocation) (out *Outco
 		}
 		return nil, 0, 0, NewSystemException(ExcCommFailure, 2, "writing request to %s: %v", c.addr, err)
 	}
-	sent = len(body) + giop.HeaderSize
 
 	if !inv.ResponseExpected {
 		return &Outcome{Status: giop.ReplyNoException, Order: order}, sent, 0, nil
@@ -171,6 +190,7 @@ func (c *clientConn) roundTrip(ctx context.Context, inv *Invocation) (out *Outco
 
 	select {
 	case out := <-p.ch:
+		pendingPool.Put(p)
 		return out, sent, len(out.Data), nil
 	case <-ctx.Done():
 		c.unregister(id)
@@ -184,11 +204,12 @@ func (c *clientConn) roundTrip(ctx context.Context, inv *Invocation) (out *Outco
 
 // sendCancel notifies the server that the client gave up on a request.
 func (c *clientConn) sendCancel(id uint32) {
-	e := cdr.NewEncoder(c.orb.opts.Order)
+	e := giop.AcquireFrameEncoder(c.orb.opts.Order)
 	(&giop.CancelRequestHeader{RequestID: id}).Marshal(e)
 	c.writeMu.Lock()
-	_ = giop.WriteMessage(c.raw, giop.MsgCancelRequest, c.orb.opts.Order, e.Bytes())
+	_ = giop.WriteFrame(c.raw, giop.MsgCancelRequest, e, 0)
 	c.writeMu.Unlock()
+	e.Release()
 }
 
 // locate issues a LocateRequest and waits for the LocateReply.
@@ -205,11 +226,12 @@ func (c *clientConn) locate(ctx context.Context, objectKey []byte) (giop.LocateS
 	c.pendingLocate[id] = ch
 	c.mu.Unlock()
 
-	e := cdr.NewEncoder(c.orb.opts.Order)
+	e := giop.AcquireFrameEncoder(c.orb.opts.Order)
 	(&giop.LocateRequestHeader{RequestID: id, ObjectKey: objectKey}).Marshal(e)
 	c.writeMu.Lock()
-	err := giop.WriteMessage(c.raw, giop.MsgLocateRequest, c.orb.opts.Order, e.Bytes())
+	err := giop.WriteFrame(c.raw, giop.MsgLocateRequest, e, 0)
 	c.writeMu.Unlock()
+	e.Release()
 	if err != nil {
 		c.close(NewSystemException(ExcCommFailure, 3, "writing locate request: %v", err))
 		return 0, NewSystemException(ExcCommFailure, 3, "writing locate request: %v", err)
@@ -227,8 +249,9 @@ func (c *clientConn) locate(ctx context.Context, objectKey []byte) (giop.LocateS
 
 // readLoop demultiplexes replies until the connection dies.
 func (c *clientConn) readLoop() {
+	fr := giop.NewFrameReader(c.raw)
 	for {
-		msg, err := giop.ReadMessageReassembled(c.raw)
+		msg, err := fr.ReadMessage()
 		if err != nil {
 			c.close(NewSystemException(ExcCommFailure, 4, "connection to %s lost: %v", c.addr, err))
 			return
@@ -248,7 +271,10 @@ func (c *clientConn) readLoop() {
 			}
 			c.mu.Lock()
 			p, ok := c.pending[h.RequestID]
-			delete(c.pending, h.RequestID)
+			if ok {
+				delete(c.pending, h.RequestID)
+				c.inFlight.Add(-1)
+			}
 			c.mu.Unlock()
 			if !ok {
 				continue // cancelled or unknown
@@ -296,6 +322,7 @@ func (c *clientConn) close(cause *SystemException) {
 	c.err = cause
 	pending := c.pending
 	c.pending = make(map[uint32]*pendingReply)
+	c.inFlight.Add(int32(-len(pending)))
 	locates := c.pendingLocate
 	c.pendingLocate = make(map[uint32]chan giop.LocateStatus)
 	c.mu.Unlock()

@@ -32,6 +32,11 @@ type Options struct {
 	// most this many body octets (0 disables fragmentation). Incoming
 	// fragmented messages are always reassembled.
 	MaxFragment int
+	// ConnsPerEndpoint stripes client traffic over up to this many
+	// connections per endpoint, picked least-pending per request, so
+	// concurrent callers do not serialise on one connection's write
+	// mutex. 0 or 1 keeps the single multiplexed connection.
+	ConnsPerEndpoint int
 	// Logger receives diagnostics. Defaults to a discarding logger.
 	Logger *slog.Logger
 	// Observability enables tracing and metrics on this ORB. Nil (the
@@ -53,6 +58,9 @@ func (o Options) withDefaults() Options {
 	if o.Logger == nil {
 		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if o.ConnsPerEndpoint <= 0 {
+		o.ConnsPerEndpoint = 1
+	}
 	return o
 }
 
@@ -71,7 +79,7 @@ type ORB struct {
 
 	mu             sync.Mutex
 	router         Router
-	conns          map[string]*clientConn
+	conns          map[string]*connStripe
 	listeners      []net.Listener
 	serverConns    map[net.Conn]struct{}
 	filters        []IncomingFilter
@@ -104,11 +112,11 @@ type CommandHandler interface {
 func New(opts Options) *ORB {
 	o := &ORB{
 		opts:        opts.withDefaults(),
-		conns:       make(map[string]*clientConn),
+		conns:       make(map[string]*connStripe),
 		serverConns: make(map[net.Conn]struct{}),
 	}
 	o.iiop = &iiopModule{orb: o}
-	o.adapter = &Adapter{orb: o, servants: make(map[string]*activation)}
+	o.adapter = &Adapter{orb: o}
 	o.router = RouterFunc(func(*Invocation) (TransportModule, error) { return o.iiop, nil })
 	if opts.Observability != nil {
 		o.SetObservability(opts.Observability)
@@ -307,10 +315,10 @@ func (o *ORB) Shutdown() {
 	listeners := o.listeners
 	o.listeners = nil
 	conns := make([]*clientConn, 0, len(o.conns))
-	for _, c := range o.conns {
-		conns = append(conns, c)
+	for _, st := range o.conns {
+		conns = st.live(conns)
 	}
-	o.conns = make(map[string]*clientConn)
+	o.conns = make(map[string]*connStripe)
 	server := make([]net.Conn, 0, len(o.serverConns))
 	for c := range o.serverConns {
 		server = append(server, c)
@@ -329,41 +337,60 @@ func (o *ORB) Shutdown() {
 	o.wg.Wait()
 }
 
-// getConn returns a live client connection to addr, dialing if needed.
+// getConn returns a live client connection to addr from the endpoint's
+// stripe, dialing a new stripe member when a slot is free. Selection is
+// least-pending: the live connection with the fewest outstanding replies
+// wins, so concurrent load spreads across the stripe.
 func (o *ORB) getConn(addr string) (*clientConn, error) {
 	o.mu.Lock()
 	if o.shutdown {
 		o.mu.Unlock()
 		return nil, NewSystemException(ExcCommFailure, 10, "orb is shut down")
 	}
-	if c, ok := o.conns[addr]; ok {
-		o.mu.Unlock()
-		return c, nil
+	st, ok := o.conns[addr]
+	if !ok {
+		st = newConnStripe(o.opts.ConnsPerEndpoint)
+		o.conns[addr] = st
 	}
+	best, empty := st.pick()
+	if empty < 0 || (best != nil && st.dialing > 0) {
+		// Stripe full, or a widening dial is already under way and a
+		// live connection can absorb this request meanwhile.
+		o.mu.Unlock()
+		return best, nil
+	}
+	st.dialing++
 	o.mu.Unlock()
 
 	raw, err := o.opts.Transport.Dial(addr)
-	if err != nil {
-		return nil, NewSystemException(ExcTransient, 1, "dialing %s: %v", addr, err)
-	}
 
 	o.mu.Lock()
+	st.dialing--
+	if err != nil {
+		o.mu.Unlock()
+		return nil, NewSystemException(ExcTransient, 1, "dialing %s: %v", addr, err)
+	}
 	if o.shutdown {
 		o.mu.Unlock()
 		raw.Close()
 		return nil, NewSystemException(ExcCommFailure, 10, "orb is shut down")
 	}
-	if existing, ok := o.conns[addr]; ok {
-		// Lost the race; use the winner.
+	slot := st.firstEmpty()
+	if slot < 0 {
+		// The stripe filled while we dialed; use the least-loaded member.
+		best, _ = st.pick()
 		o.mu.Unlock()
 		raw.Close()
-		return existing, nil
+		if best != nil {
+			return best, nil
+		}
+		return nil, NewSystemException(ExcTransient, 1, "connection to %s lost while dialing", addr)
 	}
 	c := newClientConn(o, addr, raw)
-	o.conns[addr] = c
+	st.slots[slot] = c
+	o.wg.Add(1)
 	o.mu.Unlock()
 
-	o.wg.Add(1)
 	go func() {
 		defer o.wg.Done()
 		c.readLoop()
@@ -371,11 +398,11 @@ func (o *ORB) getConn(addr string) (*clientConn, error) {
 	return c, nil
 }
 
-// dropConn removes a dead connection from the pool.
+// dropConn removes a dead connection from its endpoint stripe.
 func (o *ORB) dropConn(addr string, c *clientConn) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if cur, ok := o.conns[addr]; ok && cur == c {
-		delete(o.conns, addr)
+	if st, ok := o.conns[addr]; ok {
+		st.drop(c)
 	}
 }

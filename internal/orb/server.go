@@ -21,12 +21,13 @@ type activation struct {
 }
 
 // Adapter is the object adapter: the registry mapping object keys to
-// servants and minting object references for them.
+// servants and minting object references for them. The registry is a
+// sync.Map because Resolve sits on every dispatch while activations are
+// rare — reads stay lock-free and uncontended.
 type Adapter struct {
 	orb *ORB
 
-	mu       sync.RWMutex
-	servants map[string]*activation
+	servants sync.Map // object key (string) → *activation
 }
 
 // Activate registers a servant under the given object key and returns its
@@ -54,13 +55,10 @@ func (a *Adapter) activate(key, typeID string, s Servant, info *ior.QoSInfo) (*i
 	if !ok {
 		return nil, fmt.Errorf("orb: activate %q: ORB is not listening yet", key)
 	}
-	a.mu.Lock()
-	if _, exists := a.servants[key]; exists {
-		a.mu.Unlock()
+	act := &activation{servant: s, typeID: typeID, qos: info}
+	if _, exists := a.servants.LoadOrStore(key, act); exists {
 		return nil, fmt.Errorf("orb: object key %q already active", key)
 	}
-	a.servants[key] = &activation{servant: s, typeID: typeID, qos: info}
-	a.mu.Unlock()
 
 	ref := ior.New(typeID, host, port, []byte(key))
 	if info != nil {
@@ -71,30 +69,25 @@ func (a *Adapter) activate(key, typeID string, s Servant, info *ior.QoSInfo) (*i
 
 // Deactivate removes the servant under key.
 func (a *Adapter) Deactivate(key string) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	delete(a.servants, key)
+	a.servants.Delete(key)
 }
 
 // Resolve finds the servant for an object key.
 func (a *Adapter) Resolve(key string) (Servant, bool) {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	act, ok := a.servants[key]
+	v, ok := a.servants.Load(key)
 	if !ok {
 		return nil, false
 	}
-	return act.servant, true
+	return v.(*activation).servant, true
 }
 
 // Reference re-mints the IOR for an active key, or nil if inactive.
 func (a *Adapter) Reference(key string) *ior.IOR {
-	a.mu.RLock()
-	act, ok := a.servants[key]
-	a.mu.RUnlock()
+	v, ok := a.servants.Load(key)
 	if !ok {
 		return nil
 	}
+	act := v.(*activation)
 	host, port, bound := a.orb.Endpoint()
 	if !bound {
 		return nil
@@ -108,12 +101,11 @@ func (a *Adapter) Reference(key string) *ior.IOR {
 
 // Keys lists the active object keys.
 func (a *Adapter) Keys() []string {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	keys := make([]string, 0, len(a.servants))
-	for k := range a.servants {
-		keys = append(keys, k)
-	}
+	var keys []string
+	a.servants.Range(func(k, _ any) bool {
+		keys = append(keys, k.(string))
+		return true
+	})
 	return keys
 }
 
@@ -167,8 +159,9 @@ func (o *ORB) serveConn(conn net.Conn) {
 	var handlers sync.WaitGroup
 	defer handlers.Wait()
 
+	fr := giop.NewFrameReader(conn)
 	for {
-		msg, err := giop.ReadMessageReassembled(conn)
+		msg, err := fr.ReadMessage()
 		if err != nil {
 			return
 		}
@@ -203,11 +196,12 @@ func (o *ORB) serveConn(conn net.Conn) {
 			if _, ok := o.adapter.Resolve(string(h.ObjectKey)); ok {
 				status = giop.LocateObjectHere
 			}
-			e := cdr.NewEncoder(o.opts.Order)
+			e := giop.AcquireFrameEncoder(o.opts.Order)
 			(&giop.LocateReplyHeader{RequestID: h.RequestID, Status: status}).Marshal(e)
 			writeMu.Lock()
-			_ = giop.WriteMessage(conn, giop.MsgLocateReply, o.opts.Order, e.Bytes())
+			_ = giop.WriteFrame(conn, giop.MsgLocateReply, e, 0)
 			writeMu.Unlock()
+			e.Release()
 		case giop.MsgCancelRequest:
 			// Dispatch is not interruptible; the cancel is a hint we log.
 			o.opts.Logger.Debug("orb: cancel request received")
@@ -231,7 +225,7 @@ func (o *ORB) handleRequest(conn net.Conn, writeMu *sync.Mutex, order cdr.ByteOr
 		Contexts:  h.Contexts,
 		Args:      args,
 		Order:     order,
-		Out:       cdr.NewEncoder(order),
+		Out:       cdr.AcquireEncoder(order),
 		Peer:      conn.RemoteAddr().String(),
 		OneWay:    !h.ResponseExpected,
 	}
@@ -262,15 +256,20 @@ func (o *ORB) handleRequest(conn net.Conn, writeMu *sync.Mutex, order cdr.ByteOr
 	}
 
 	if !h.ResponseExpected {
+		req.Out.Release()
 		return
 	}
-	e := cdr.NewEncoder(order)
+	e := giop.AcquireFrameEncoder(order)
 	rh := giop.ReplyHeader{Contexts: req.OutContexts, RequestID: h.RequestID, Status: status}
 	rh.Marshal(e)
 	e.WriteOctets(body)
 	writeMu.Lock()
-	err := giop.WriteMessageFragmented(conn, giop.MsgReply, order, e.Bytes(), o.opts.MaxFragment)
+	err := giop.WriteFrame(conn, giop.MsgReply, e, o.opts.MaxFragment)
 	writeMu.Unlock()
+	e.Release()
+	// body may alias req.Out's buffer; it has been copied into the reply
+	// frame above, so the dispatch encoder can go back to the pool now.
+	req.Out.Release()
 	if err != nil {
 		o.opts.Logger.Warn("orb: writing reply failed", "err", err)
 	}

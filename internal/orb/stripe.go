@@ -1,0 +1,66 @@
+package orb
+
+// connStripe is the per-endpoint client connection pool: up to width live
+// connections, each multiplexing concurrent requests. Requests pick the
+// live connection with the fewest pending replies (least-pending), so
+// concurrent callers spread over the stripe instead of serialising on one
+// connection's write mutex. All fields are guarded by the ORB's mu — the
+// stripe only ever grows to width and connections die via dropConn, both
+// rare events compared to the per-request pick.
+type connStripe struct {
+	slots   []*clientConn
+	dialing int // dials in flight, to damp widening stampedes
+}
+
+func newConnStripe(width int) *connStripe {
+	return &connStripe{slots: make([]*clientConn, width)}
+}
+
+// pick returns the live connection with the fewest in-flight requests and
+// the index of the first empty slot (-1 when the stripe is full).
+func (st *connStripe) pick() (best *clientConn, empty int) {
+	empty = -1
+	var bestLoad int32
+	for i, c := range st.slots {
+		if c == nil {
+			if empty < 0 {
+				empty = i
+			}
+			continue
+		}
+		if load := c.inFlight.Load(); best == nil || load < bestLoad {
+			best, bestLoad = c, load
+		}
+	}
+	return best, empty
+}
+
+// firstEmpty returns the index of the first empty slot, or -1.
+func (st *connStripe) firstEmpty() int {
+	for i, c := range st.slots {
+		if c == nil {
+			return i
+		}
+	}
+	return -1
+}
+
+// drop clears the slot holding c (no-op when c was already replaced).
+func (st *connStripe) drop(c *clientConn) {
+	for i, cur := range st.slots {
+		if cur == c {
+			st.slots[i] = nil
+			return
+		}
+	}
+}
+
+// live appends all live connections of the stripe to dst.
+func (st *connStripe) live(dst []*clientConn) []*clientConn {
+	for _, c := range st.slots {
+		if c != nil {
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}

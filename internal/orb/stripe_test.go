@@ -1,0 +1,198 @@
+package orb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"maqs/internal/cdr"
+	"maqs/internal/ior"
+	"maqs/internal/netsim"
+)
+
+// stripedWorld wires a client with a striped connection pool against the
+// standard echo server world.
+func stripedWorld(t *testing.T, width int) (*ORB, *ior.IOR) {
+	t.Helper()
+	n := netsim.NewNetwork()
+	server := New(Options{Transport: n.Host("server")})
+	if err := server.Listen("server:9000"); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := server.Adapter().Activate("echo-1", "IDL:test/Echo:1.0", &echoServant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := New(Options{Transport: n.Host("client"), ConnsPerEndpoint: width})
+	t.Cleanup(func() {
+		client.Shutdown()
+		server.Shutdown()
+	})
+	return client, ref
+}
+
+// stripeWidth counts the live connections the client currently holds
+// toward its single endpoint.
+func stripeWidth(o *ORB) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	total := 0
+	for _, st := range o.conns {
+		total = len(st.live(nil))
+	}
+	return total
+}
+
+// TestStripeWidensUnderConcurrency drives overlapping slow calls and
+// expects the client to open more than one connection to the endpoint.
+func TestStripeWidensUnderConcurrency(t *testing.T) {
+	const width = 3
+	client, ref := stripedWorld(t, width)
+	var wg sync.WaitGroup
+	for i := 0; i < 2*width; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := client.Invoke(context.Background(), &Invocation{
+				Target:           ref,
+				Operation:        "slow",
+				ResponseExpected: true,
+				Order:            client.Order(),
+			})
+			if err != nil {
+				t.Errorf("slow call: %v", err)
+				return
+			}
+			if err := out.Err(); err != nil {
+				t.Errorf("slow call outcome: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := stripeWidth(client); got < 2 {
+		t.Fatalf("stripe width after concurrent slow calls = %d, want >= 2", got)
+	}
+	if got := stripeWidth(client); got > width {
+		t.Fatalf("stripe width = %d exceeds configured %d", got, width)
+	}
+}
+
+// TestStripeDefaultStaysSingle checks back-compat: without an explicit
+// ConnsPerEndpoint the client keeps exactly one connection per endpoint,
+// matching the pre-striping behaviour.
+func TestStripeDefaultStaysSingle(t *testing.T) {
+	client, ref := stripedWorld(t, 0) // 0 → default of 1
+	for i := 0; i < 5; i++ {
+		if _, err := callEcho(t, client, ref, "sequential"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := stripeWidth(client); got != 1 {
+		t.Fatalf("default stripe width = %d, want 1", got)
+	}
+}
+
+// TestStripeInFlightDrains verifies the least-pending accounting: once all
+// calls have completed, every live connection reports zero in-flight
+// requests (a leak here would skew picking forever after).
+func TestStripeInFlightDrains(t *testing.T) {
+	client, ref := stripedWorld(t, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := callEcho(t, client, ref, fmt.Sprintf("g%d-%d", id, i)); err != nil {
+					t.Errorf("goroutine %d call %d: %v", id, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	client.mu.Lock()
+	defer client.mu.Unlock()
+	for ep, st := range client.conns {
+		for _, c := range st.live(nil) {
+			if n := c.inFlight.Load(); n != 0 {
+				t.Fatalf("endpoint %s: connection reports %d in-flight after drain", ep, n)
+			}
+		}
+	}
+}
+
+// TestStripeStress is the correctness gate for striping under load: many
+// goroutines, striped connections, every reply must match its request.
+// Run with -race.
+func TestStripeStress(t *testing.T) {
+	client, ref := stripedWorld(t, 4)
+	const goroutines = 12
+	const calls = 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				msg := fmt.Sprintf("stress g%d call %d", id, i)
+				got, err := callEcho(t, client, ref, msg)
+				if err != nil {
+					t.Errorf("%s: %v", msg, err)
+					return
+				}
+				if got != msg {
+					t.Errorf("reply mismatch: sent %q got %q", msg, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// BenchmarkEchoStripe compares the invocation hot path on a single shared
+// connection against a striped pool under parallel load.
+func BenchmarkEchoStripe(b *testing.B) {
+	for _, width := range []int{1, 4} {
+		b.Run(fmt.Sprintf("width%d", width), func(b *testing.B) {
+			n := netsim.NewNetwork()
+			server := New(Options{Transport: n.Host("server")})
+			if err := server.Listen("server:9000"); err != nil {
+				b.Fatal(err)
+			}
+			ref, err := server.Adapter().Activate("echo-1", "IDL:test/Echo:1.0", &echoServant{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			client := New(Options{Transport: n.Host("client"), ConnsPerEndpoint: width})
+			b.Cleanup(func() {
+				client.Shutdown()
+				server.Shutdown()
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				e := cdr.NewEncoder(client.Order())
+				e.WriteString("parallel echo payload")
+				args := e.Bytes()
+				for pb.Next() {
+					out, err := client.Invoke(context.Background(), &Invocation{
+						Target:           ref,
+						Operation:        "echo",
+						Args:             args,
+						ResponseExpected: true,
+						Order:            client.Order(),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := out.Err(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}

@@ -175,7 +175,8 @@ func (c *Controller) command(ctx context.Context, module, op string, args []byte
 
 // Load asks the remote transport to load a module.
 func (c *Controller) Load(ctx context.Context, name string, config map[string]string) error {
-	e := cdr.NewEncoder(c.orb.Order())
+	e := cdr.AcquireEncoder(c.orb.Order())
+	defer e.Release()
 	e.WriteString(name)
 	writeConfig(e, config)
 	_, err := c.command(ctx, "", CmdLoad, e.Bytes())
@@ -184,7 +185,8 @@ func (c *Controller) Load(ctx context.Context, name string, config map[string]st
 
 // Unload asks the remote transport to unload a module.
 func (c *Controller) Unload(ctx context.Context, name string) error {
-	e := cdr.NewEncoder(c.orb.Order())
+	e := cdr.AcquireEncoder(c.orb.Order())
+	defer e.Release()
 	e.WriteString(name)
 	_, err := c.command(ctx, "", CmdUnload, e.Bytes())
 	return err

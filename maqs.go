@@ -233,6 +233,12 @@ type Options struct {
 	Transport netsim.Transport
 	// RequestTimeout bounds synchronous invocations (default 10s).
 	RequestTimeout time.Duration
+	// ConnsPerEndpoint stripes client traffic over up to this many
+	// connections per server endpoint (least-pending pick), so highly
+	// concurrent callers do not serialise on a single connection's write
+	// path. 0 or 1 keeps one multiplexed connection per endpoint (see
+	// docs/PERFORMANCE.md).
+	ConnsPerEndpoint int
 	// Logger receives diagnostics (default: discard).
 	Logger *slog.Logger
 	// SkipStandardCharacteristics leaves the registry empty; register
@@ -272,11 +278,12 @@ type System struct {
 // standard characteristics unless disabled.
 func NewSystem(opts Options) (*System, error) {
 	o := orb.New(orb.Options{
-		Transport:      opts.Transport,
-		RequestTimeout: opts.RequestTimeout,
-		Logger:         opts.Logger,
-		Observability:  opts.Observability,
-		Resilience:     opts.Resilience,
+		Transport:        opts.Transport,
+		RequestTimeout:   opts.RequestTimeout,
+		ConnsPerEndpoint: opts.ConnsPerEndpoint,
+		Logger:           opts.Logger,
+		Observability:    opts.Observability,
+		Resilience:       opts.Resilience,
 	})
 	t := transport.Install(o)
 	registry := qos.NewRegistry()
