@@ -3,16 +3,23 @@ GO ?= go
 # Benchmark trajectory file produced by `make bench`. Bump the number when a
 # PR meaningfully changes the performance story so the history accumulates
 # (BENCH_1.json, BENCH_2.json, ...): see docs/PERFORMANCE.md.
-BENCH_OUT ?= BENCH_4.json
+BENCH_OUT ?= BENCH_5.json
 
-.PHONY: all check vet build test race bench bench-smoke chaos clean
+# Coverage floor (percent) enforced by `make cover` on the observability
+# package: the flight recorder and debug endpoints are the forensics layer,
+# so they stay thoroughly tested.
+COVER_PKG ?= ./internal/obs
+COVER_FLOOR ?= 75
+
+.PHONY: all check vet build test race bench bench-smoke chaos cover clean
 
 all: check
 
 # check is the full gate: vet, build everything, race-enabled tests, the
 # chaos suite (fault injection + resilience) on its own for a readable
-# verdict, and a one-iteration bench smoke so benchmark code can't rot.
-check: vet build race chaos bench-smoke
+# verdict, the observability coverage floor, and a one-iteration bench
+# smoke so benchmark code can't rot.
+check: vet build race chaos cover bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +43,15 @@ bench:
 # harness still compiles and runs without paying measurement time.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' . ./internal/orb ./internal/cdr
+
+# cover enforces the coverage floor on the observability package. It fails
+# when the package's statement coverage drops below COVER_FLOOR percent.
+cover:
+	@out=$$($(GO) test -cover $(COVER_PKG)) || { echo "$$out"; exit 1; }; \
+	echo "$$out"; \
+	pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p' | head -n1); \
+	if [ -z "$$pct" ]; then echo "cover: no coverage reported for $(COVER_PKG)"; exit 1; fi; \
+	awk "BEGIN { if ($$pct < $(COVER_FLOOR)) { printf \"cover: %.1f%% below floor $(COVER_FLOOR)%%\n\", $$pct; exit 1 } }"
 
 # chaos runs the fault-injection stress tests race-enabled: the seeded
 # FaultPlan chaos run plus the targeted retry/breaker tests.

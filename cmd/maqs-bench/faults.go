@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"sync"
@@ -17,7 +18,9 @@ import (
 // client with retry, circuit breaking and a QoS degradation ladder
 // installed. It prints what the resilience layer did: call outcomes,
 // injected faults, breaker transitions and automatic QoS renegotiations.
-func runFaultsDemo(w *os.File, calls int) error {
+// With flight set, the chaos report is followed by the flight recorder's
+// JSON dump: the retained record ring and every frozen anomaly dump.
+func runFaultsDemo(w *os.File, calls int, flight bool) error {
 	bundle := maqs.NewObservability()
 	network := maqs.NewNetwork()
 	network.Seed(7)
@@ -199,6 +202,24 @@ func runFaultsDemo(w *os.File, calls int) error {
 	if b := stub.Binding(); b != nil {
 		fmt.Fprintf(w, "  contract        %s level %.0f (epoch %d)\n",
 			b.Characteristic, b.Contract.Number("level", -1), b.Contract.Epoch)
+	}
+
+	if flight {
+		fr := bundle.Flight
+		dump := struct {
+			Snapshot any                `json:"snapshot"`
+			Dumps    []*maqs.FlightDump `json:"dumps"`
+		}{Snapshot: fr.Snapshot(0)}
+		for _, s := range fr.Dumps() {
+			if d, ok := fr.Dump(s.ID); ok {
+				dump.Dumps = append(dump.Dumps, d)
+			}
+		}
+		data, err := json.MarshalIndent(dump, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nflight recorder:\n%s\n", data)
 	}
 	return nil
 }

@@ -27,7 +27,10 @@
 // client's resilience layer — retry with backoff, a per-endpoint circuit
 // breaker and a QoS degradation ladder — switched on; the run ends with a
 // report of injected faults, retries, breaker transitions and automatic
-// renegotiations (see docs/RESILIENCE.md).
+// renegotiations (see docs/RESILIENCE.md). Adding -flight appends the
+// invocation flight recorder's JSON dump — the retained per-call record
+// ring plus every anomaly dump the run froze (retry exhaustion, breaker
+// openings, deadline misses, degradation steps).
 package main
 
 import (
@@ -57,6 +60,7 @@ func run(args []string) int {
 	metrics := fs.Bool("metrics", false, "run an instrumented demo world and dump its observability snapshot as JSON")
 	faults := fs.Bool("faults", false, "run the demo world under a seeded fault plan and report what the resilience layer did")
 	faultCalls := fs.Int("fault-calls", 400, "number of invocations for the -faults chaos run")
+	flight := fs.Bool("flight", false, "with -faults: append the flight recorder's JSON dump (record ring + anomaly dumps) to the chaos report")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to `file` (inspect with go tool pprof)")
 	memProfile := fs.String("memprofile", "", "write an allocation profile taken at exit to `file`")
 	if err := fs.Parse(args); err != nil {
@@ -97,7 +101,7 @@ func run(args []string) int {
 		return 0
 	}
 	if *faults {
-		if err := runFaultsDemo(os.Stdout, *faultCalls); err != nil {
+		if err := runFaultsDemo(os.Stdout, *faultCalls, *flight); err != nil {
 			fmt.Fprintf(os.Stderr, "faults demo failed: %v\n", err)
 			return 1
 		}
@@ -201,8 +205,11 @@ func runMetricsDemo(w *os.File) error {
 
 	ctx := context.Background()
 	stub := client.Stub(ref)
+	// The stub already carries the canonical metrics observer (System.Stub
+	// attaches it when observability is on); the monitor is stacked for
+	// its sliding-window statistics only. Publishing it to the registry as
+	// well would double-count every call into the same instruments.
 	mon := maqs.NewMonitor(32)
-	mon.Publish(bundle.Registry, "")
 	stub.AddObserver(mon.Observe)
 
 	if _, err := stub.Negotiate(ctx, &maqs.Proposal{

@@ -9,8 +9,11 @@
 //	maqs-server [-addr 127.0.0.1:9700] [-debug 127.0.0.1:9780]
 //
 // With -debug, an HTTP endpoint exposes /metrics (text or ?format=json),
-// /trace (recent spans, ?trace=<id> to filter) and /trace/ops
-// (per-operation aggregates) for the instrumented invocation path.
+// /trace (recent spans, ?trace=<id> to filter, ?limit=N to bound),
+// /trace/ops (per-operation aggregates), /flight (the invocation flight
+// recorder's record ring and anomaly dumps, ?dump=<id> for one frozen
+// dump), /health (liveness) and /ready (readiness checks) for the
+// instrumented invocation path.
 //
 // Inspect the printed references with ior-dump; stop with ctrl-C.
 package main
@@ -82,7 +85,7 @@ func main() {
 
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:9700", "listen address (host:port)")
-	debug := flag.String("debug", "", "HTTP debug address serving /metrics and /trace (empty: disabled)")
+	debug := flag.String("debug", "", "HTTP debug address serving /metrics, /trace, /flight, /health and /ready (empty: disabled)")
 	flag.Parse()
 
 	// Outgoing invocations from this process (trader lookups, replica
@@ -149,7 +152,7 @@ func run() error {
 		}
 		debugSrv = &http.Server{Handler: sys.Observability.Handler()}
 		go func() { _ = debugSrv.Serve(ln) }()
-		fmt.Printf("debug endpoint on http://%s/ (/metrics, /trace, /trace/ops)\n\n", ln.Addr())
+		fmt.Printf("debug endpoint on http://%s/ (/metrics, /trace, /trace/ops, /flight, /health, /ready)\n\n", ln.Addr())
 	}
 
 	fmt.Printf("maqs-server listening on %s\n\n", *addr)

@@ -1,23 +1,57 @@
 package cdr
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // maxPooledCapacity caps the buffer capacity an Encoder may carry back into
 // the pool. Occasional giant payloads (fragmented bulk transfers) would
 // otherwise pin megabytes of idle memory under steady small-message load.
 const maxPooledCapacity = 64 << 10
 
+// Pool telemetry, process-global like the pool itself. A Get that fell
+// through to the pool's New is a miss (hits = gets − misses); Oversize
+// counts buffers discarded at Release for exceeding maxPooledCapacity.
+// cdr must stay free of an obs dependency, so these are plain atomics
+// that the ORB layer re-exports as callback instruments.
+var (
+	poolGets     atomic.Uint64
+	poolMisses   atomic.Uint64
+	poolOversize atomic.Uint64
+)
+
+// EncoderPoolStats is a point-in-time copy of the pool counters.
+type EncoderPoolStats struct {
+	Gets     uint64
+	Misses   uint64
+	Oversize uint64
+}
+
+// PoolStats reports cumulative encoder pool activity.
+func PoolStats() EncoderPoolStats {
+	return EncoderPoolStats{
+		Gets:     poolGets.Load(),
+		Misses:   poolMisses.Load(),
+		Oversize: poolOversize.Load(),
+	}
+}
+
 // encoderPool recycles Encoders across invocations. The invocation hot path
 // (request marshalling, reply marshalling, service-context encoding) builds
 // and discards one or more encoders per call; recycling them removes the
 // dominant per-call allocations.
-var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+var encoderPool = sync.Pool{New: func() any {
+	poolMisses.Add(1)
+	return new(Encoder)
+}}
 
 // AcquireEncoder returns an empty pooled Encoder producing the given byte
 // order. Pair it with Release once the encoded bytes have been written out
 // or copied; after Release neither the encoder nor any slice obtained from
 // Bytes may be used.
 func AcquireEncoder(order ByteOrder) *Encoder {
+	poolGets.Add(1)
 	e := encoderPool.Get().(*Encoder)
 	e.Reset(order)
 	return e
@@ -40,6 +74,7 @@ func (e *Encoder) Release() {
 	}
 	if cap(e.buf) > maxPooledCapacity {
 		e.buf = nil
+		poolOversize.Add(1)
 	}
 	e.buf = e.buf[:0]
 	e.base = 0

@@ -54,6 +54,7 @@ func writeFrame(w io.Writer, t MsgType, order cdr.ByteOrder, body []byte, more b
 	if len(body) > MaxMessageSize {
 		return fmt.Errorf("giop: fragment body %d exceeds limit", len(body))
 	}
+	framePoolGets.Add(1)
 	bp := framePool.Get().(*[]byte)
 	buf := *bp
 	if cap(buf) < HeaderSize+len(body) {
@@ -62,10 +63,13 @@ func writeFrame(w io.Writer, t MsgType, order cdr.ByteOrder, body []byte, more b
 	buf = buf[:HeaderSize]
 	putHeader(buf, t, order, len(body), more)
 	buf = append(buf, body...)
+	observeFrameSize(len(buf))
 	_, err := w.Write(buf)
 	if cap(buf) <= maxPooledFrame {
 		*bp = buf[:0]
 		framePool.Put(bp)
+	} else {
+		framePoolOversize.Add(1)
 	}
 	if err != nil {
 		return fmt.Errorf("giop: writing frame: %w", err)

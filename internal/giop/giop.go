@@ -125,6 +125,7 @@ func putHeader(dst []byte, t MsgType, order cdr.ByteOrder, size int, more bool) 
 // coalesce header and body into a single Write. Buffers above the cap are
 // dropped rather than pooled (see cdr's pooling rationale).
 var framePool = sync.Pool{New: func() any {
+	framePoolMisses.Add(1)
 	b := make([]byte, 0, 4096)
 	return &b
 }}
@@ -164,6 +165,7 @@ func WriteFrame(w io.Writer, t MsgType, e *cdr.Encoder, maxFragment int) error {
 		return fmt.Errorf("giop: message body %d exceeds limit", len(body))
 	}
 	putHeader(frame, t, e.Order(), len(body), false)
+	observeFrameSize(len(frame))
 	if _, err := w.Write(frame); err != nil {
 		return fmt.Errorf("giop: writing message: %w", err)
 	}

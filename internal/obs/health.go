@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ReadinessCheck reports whether one named subsystem is ready and a
+// short human-readable detail either way.
+type ReadinessCheck func() (ok bool, detail string)
+
+// CheckResult is one readiness check's outcome in the /ready JSON.
+type CheckResult struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// ReadyReport is the /ready JSON body.
+type ReadyReport struct {
+	Ready  bool          `json:"ready"`
+	Checks []CheckResult `json:"checks"`
+}
+
+// healthState holds the registered readiness checks. It lives behind a
+// lazily-initialised pointer so bundles constructed with a struct
+// literal (no call to New*) still support SetReadiness.
+type healthState struct {
+	mu     sync.Mutex
+	checks map[string]ReadinessCheck
+}
+
+type lazyHealth struct {
+	p atomic.Pointer[healthState]
+}
+
+func (l *lazyHealth) get() *healthState {
+	if h := l.p.Load(); h != nil {
+		return h
+	}
+	h := &healthState{checks: map[string]ReadinessCheck{}}
+	if l.p.CompareAndSwap(nil, h) {
+		return h
+	}
+	return l.p.Load()
+}
+
+// SetReadiness registers (or replaces) a named readiness check consulted
+// by /ready. A nil check removes the name. No-op on a nil bundle.
+func (o *Observability) SetReadiness(name string, check ReadinessCheck) {
+	if o == nil {
+		return
+	}
+	h := o.health.get()
+	h.mu.Lock()
+	if check == nil {
+		delete(h.checks, name)
+	} else {
+		h.checks[name] = check
+	}
+	h.mu.Unlock()
+}
+
+// Ready runs every registered check and aggregates: ready iff all checks
+// pass (a bundle with no checks is ready — liveness alone). Nil-safe.
+func (o *Observability) Ready() ReadyReport {
+	rep := ReadyReport{Ready: true, Checks: []CheckResult{}}
+	if o == nil {
+		return rep
+	}
+	h := o.health.get()
+	h.mu.Lock()
+	names := make([]string, 0, len(h.checks))
+	for n := range h.checks {
+		names = append(names, n)
+	}
+	checks := make([]ReadinessCheck, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		checks = append(checks, h.checks[n])
+	}
+	h.mu.Unlock()
+	// Run checks outside the lock: they read foreign state (breaker
+	// groups, gauges) and must not be able to deadlock registration.
+	for i, n := range names {
+		ok, detail := checks[i]()
+		if !ok {
+			rep.Ready = false
+		}
+		rep.Checks = append(rep.Checks, CheckResult{Name: n, OK: ok, Detail: detail})
+	}
+	return rep
+}

@@ -3,16 +3,23 @@ package obs
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
 )
 
 // Handler serves the debug endpoints over the bundle:
 //
-//	/metrics            text exposition of the registry
+//	/metrics              text exposition of the registry
 //	/metrics?format=json  the same as JSON
-//	/trace              retained spans as JSON, oldest first
-//	/trace?trace=<id>   one trace's spans, ordered by start time
-//	/trace/ops          per-operation span aggregation as JSON
+//	/trace                retained spans as JSON, oldest first
+//	/trace?trace=<id>     one trace's spans, ordered by start time
+//	/trace/ops            per-operation span aggregation as JSON
+//	/flight               flight-recorder ring + anomaly dump index
+//	/flight?dump=<id>     one frozen anomaly dump
+//	/health               liveness (200 as long as the process serves)
+//	/ready                readiness checks as JSON; 503 when any fails
 //
+// /trace and /flight honour ?limit=N to bound the records returned
+// (newest N), so a large ring cannot produce a multi-MB response.
 // Mount it on any mux or serve it directly (cmd/maqs-server does).
 func (o *Observability) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -33,10 +40,56 @@ func (o *Observability) Handler() http.Handler {
 		} else {
 			spans = o.Collector.Snapshot()
 		}
+		if limit, ok := limitParam(w, r); !ok {
+			return
+		} else if limit > 0 && limit < len(spans) {
+			spans = spans[len(spans)-limit:]
+		}
 		writeJSON(w, spans)
 	})
 	mux.HandleFunc("/trace/ops", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, o.Collector.Operations())
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+		var fr *FlightRecorder
+		if o != nil {
+			fr = o.Flight
+		}
+		if id := r.URL.Query().Get("dump"); id != "" {
+			d, ok := fr.Dump(id)
+			if !ok {
+				http.Error(w, "unknown dump id", http.StatusNotFound)
+				return
+			}
+			writeJSON(w, d)
+			return
+		}
+		limit, ok := limitParam(w, r)
+		if !ok {
+			return
+		}
+		if limit == 0 {
+			// Unbounded /flight defaults to the dump snapshot depth so
+			// the index page stays small; ?limit=-1 is not offered —
+			// dumps carry the forensic tail.
+			limit = DefaultFlightSnapshotDepth
+		}
+		writeJSON(w, fr.Snapshot(limit))
+	})
+	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/ready", func(w http.ResponseWriter, r *http.Request) {
+		rep := o.Ready()
+		if !rep.Ready {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(rep)
+			return
+		}
+		writeJSON(w, rep)
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -44,9 +97,24 @@ func (o *Observability) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain")
-		_, _ = w.Write([]byte("maqs observability\n\n/metrics\n/metrics?format=json\n/trace\n/trace?trace=<id>\n/trace/ops\n"))
+		_, _ = w.Write([]byte("maqs observability\n\n/metrics\n/metrics?format=json\n/trace\n/trace?trace=<id>\n/trace/ops\n/flight\n/flight?dump=<id>\n/health\n/ready\n\n/trace and /flight accept ?limit=N\n"))
 	})
 	return mux
+}
+
+// limitParam parses ?limit=N (0 when absent). On a malformed or
+// negative value it writes a 400 and reports ok=false.
+func limitParam(w http.ResponseWriter, r *http.Request) (int, bool) {
+	raw := r.URL.Query().Get("limit")
+	if raw == "" {
+		return 0, true
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		http.Error(w, "limit must be a non-negative integer", http.StatusBadRequest)
+		return 0, false
+	}
+	return n, true
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

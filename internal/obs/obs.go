@@ -2,9 +2,9 @@ package obs
 
 import "encoding/json"
 
-// Observability bundles the three cooperating pieces — metrics registry,
-// span collector and tracer — that an ORB (or a whole System) shares.
-// A nil *Observability disables everything at zero cost.
+// Observability bundles the cooperating pieces — metrics registry, span
+// collector, tracer and flight recorder — that an ORB (or a whole
+// System) shares. A nil *Observability disables everything at zero cost.
 type Observability struct {
 	// Registry holds the process's metric instruments.
 	Registry *Registry
@@ -12,31 +12,63 @@ type Observability struct {
 	Collector *Collector
 	// Tracer mints spans into Collector.
 	Tracer *Tracer
+	// Flight is the always-on invocation flight recorder (may be nil on
+	// hand-built bundles; all recorder methods tolerate that).
+	Flight *FlightRecorder
+
+	// health carries liveness/readiness state; created lazily so
+	// literal-constructed bundles still work (see health.go).
+	health lazyHealth
 }
 
-// New constructs an enabled bundle with a default-capacity collector.
-func New() *Observability { return NewWithCapacity(0) }
+// Config sizes an Observability bundle. The zero value means defaults
+// everywhere.
+type Config struct {
+	// SpanCapacity bounds the span collector ring
+	// (DefaultSpanCapacity when non-positive).
+	SpanCapacity int
+	// FlightCapacity bounds the flight-recorder ring
+	// (DefaultFlightCapacity when non-positive).
+	FlightCapacity int
+	// FlightSnapshotDepth is how many trailing records each anomaly
+	// dump freezes (DefaultFlightSnapshotDepth when non-positive).
+	FlightSnapshotDepth int
+	// FlightMaxDumps bounds retained anomaly dumps
+	// (DefaultFlightMaxDumps when non-positive).
+	FlightMaxDumps int
+}
+
+// New constructs an enabled bundle with default sizing.
+func New() *Observability { return NewWithConfig(Config{}) }
 
 // NewWithCapacity constructs a bundle whose collector retains up to
 // spanCapacity spans (DefaultSpanCapacity when non-positive).
 func NewWithCapacity(spanCapacity int) *Observability {
-	c := NewCollector(spanCapacity)
+	return NewWithConfig(Config{SpanCapacity: spanCapacity})
+}
+
+// NewWithConfig constructs a bundle sized by cfg.
+func NewWithConfig(cfg Config) *Observability {
+	c := NewCollector(cfg.SpanCapacity)
 	return &Observability{
 		Registry:  NewRegistry(),
 		Collector: c,
 		Tracer:    NewTracer(c),
+		Flight:    NewFlightRecorder(cfg.FlightCapacity, cfg.FlightSnapshotDepth, cfg.FlightMaxDumps),
 	}
 }
 
 // BundleSnapshot is the full JSON export: metrics, per-operation span
-// aggregation, and retained spans.
+// aggregation, retained spans, and the flight-recorder state.
 type BundleSnapshot struct {
 	Metrics    Snapshot           `json:"metrics"`
 	Operations map[string]OpStats `json:"operations"`
 	Spans      []SpanRecord       `json:"spans"`
+	Flight     *FlightSnapshot    `json:"flight,omitempty"`
 }
 
-// Snapshot captures registry and collector state together.
+// Snapshot captures registry, collector and flight-recorder state
+// together.
 func (o *Observability) Snapshot() BundleSnapshot {
 	var b BundleSnapshot
 	if o == nil {
@@ -46,6 +78,10 @@ func (o *Observability) Snapshot() BundleSnapshot {
 	b.Metrics = o.Registry.Snapshot()
 	b.Operations = o.Collector.Operations()
 	b.Spans = o.Collector.Snapshot()
+	if o.Flight != nil {
+		fs := o.Flight.Snapshot(0)
+		b.Flight = &fs
+	}
 	return b
 }
 

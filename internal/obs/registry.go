@@ -145,9 +145,11 @@ type Snapshot struct {
 // lock-free, and instrument lookup uses sync.Map so steady-state reads
 // take no lock either.
 type Registry struct {
-	counters   sync.Map // string -> *Counter
-	gauges     sync.Map // string -> *Gauge
-	histograms sync.Map // string -> *Histogram
+	counters     sync.Map // string -> *Counter
+	gauges       sync.Map // string -> *Gauge
+	histograms   sync.Map // string -> *Histogram
+	counterFuncs sync.Map // string -> func() uint64
+	gaugeFuncs   sync.Map // string -> func() int64
 }
 
 // NewRegistry constructs an empty registry.
@@ -200,6 +202,27 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return v.(*Histogram)
 }
 
+// CounterFunc registers a callback-backed counter: fn is evaluated at
+// snapshot time. This lets packages that keep their own atomics (and
+// must not import obs — cdr, giop) surface them without a copy loop.
+// Re-registering a name replaces the callback. No-op on a nil registry
+// or nil fn.
+func (r *Registry) CounterFunc(name string, fn func() uint64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.counterFuncs.Store(name, fn)
+}
+
+// GaugeFunc registers a callback-backed gauge, evaluated at snapshot
+// time like CounterFunc.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.gaugeFuncs.Store(name, fn)
+}
+
 // Snapshot captures all instruments.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{Counters: map[string]uint64{}, Gauges: map[string]int64{}}
@@ -212,6 +235,14 @@ func (r *Registry) Snapshot() Snapshot {
 	})
 	r.gauges.Range(func(k, v any) bool {
 		s.Gauges[k.(string)] = v.(*Gauge).Value()
+		return true
+	})
+	r.counterFuncs.Range(func(k, v any) bool {
+		s.Counters[k.(string)] = v.(func() uint64)()
+		return true
+	})
+	r.gaugeFuncs.Range(func(k, v any) bool {
+		s.Gauges[k.(string)] = v.(func() int64)()
 		return true
 	})
 	r.histograms.Range(func(_, v any) bool {

@@ -86,6 +86,40 @@ func TestRegistryConcurrentUse(t *testing.T) {
 	}
 }
 
+func TestCallbackInstruments(t *testing.T) {
+	r := NewRegistry()
+	hits := uint64(11)
+	depth := int64(-3)
+	r.CounterFunc("maqs_pool_hits_total", func() uint64 { return hits })
+	r.GaugeFunc("maqs_queue_depth", func() int64 { return depth })
+	snap := r.Snapshot()
+	if snap.Counters["maqs_pool_hits_total"] != 11 {
+		t.Fatalf("counter func value = %d", snap.Counters["maqs_pool_hits_total"])
+	}
+	if snap.Gauges["maqs_queue_depth"] != -3 {
+		t.Fatalf("gauge func value = %d", snap.Gauges["maqs_queue_depth"])
+	}
+	// Callbacks are read at snapshot time, not registration time.
+	hits, depth = 12, 4
+	snap = r.Snapshot()
+	if snap.Counters["maqs_pool_hits_total"] != 12 || snap.Gauges["maqs_queue_depth"] != 4 {
+		t.Fatalf("callbacks not re-evaluated: %v %v", snap.Counters, snap.Gauges)
+	}
+	// Latest registration wins; text exposition includes callback values.
+	r.CounterFunc("maqs_pool_hits_total", func() uint64 { return 99 })
+	var text bytes.Buffer
+	if err := r.Snapshot().WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "maqs_pool_hits_total 99") {
+		t.Fatalf("text export missing callback counter:\n%s", text.String())
+	}
+	// Nil-safety.
+	var nilReg *Registry
+	nilReg.CounterFunc("x", func() uint64 { return 1 })
+	nilReg.GaugeFunc("y", func() int64 { return 1 })
+}
+
 func TestSnapshotExports(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("maqs_requests_total").Add(3)

@@ -2,8 +2,13 @@ package orb
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -190,6 +195,130 @@ func TestRetryRespectsDeadlineBudget(t *testing.T) {
 	// must stop the loop around the 250ms context deadline instead.
 	if elapsed > time.Second {
 		t.Fatalf("retry loop ran %v, deadline budget not honoured", elapsed)
+	}
+}
+
+// TestChaosFlightRecorderAcceptance drives the demo world across a
+// partition and asserts the forensic contract end to end over the real
+// HTTP surface: the anomalies freeze dumps retrievable at
+// /flight?dump=<id> whose trigger records carry breaker state and
+// attempt counts, and the breaker/pool telemetry shows up in the
+// /metrics text exposition.
+func TestChaosFlightRecorderAcceptance(t *testing.T) {
+	pol := fastRetry()
+	pol.Retry.MaxAttempts = 3
+	pol.Breaker.FailureThreshold = 4
+	pol.Breaker.OpenTimeout = time.Minute
+	w, bundle := newResilientWorld(t, pol)
+	bundle.Flight.SetDumpCooldown(0)
+	ctx := context.Background()
+
+	// Healthy traffic first: fills the record ring and exercises the
+	// pending/encoder/frame pools.
+	for i := 0; i < 10; i++ {
+		out, err := w.client.Invoke(ctx, echoInvocation(w.client, w.ref, "warm", true))
+		if err != nil || out.Err() != nil {
+			t.Fatalf("healthy call %d failed: %v / %v", i, err, out.Err())
+		}
+	}
+	// Partition (no heal): every attempt fails, so calls exhaust their
+	// retries and the breaker eventually opens.
+	w.net.Partition("client", "server")
+	for i := 0; i < 6; i++ {
+		if _, err := w.client.Invoke(ctx, echoInvocation(w.client, w.ref, "doomed", true)); err == nil {
+			t.Fatal("call through partition succeeded")
+		}
+	}
+	if st := w.client.Breakers().Get("server:9000").State(); st != resilience.Open {
+		t.Fatalf("breaker state = %v, want Open", st)
+	}
+
+	srv := httptest.NewServer(bundle.Handler())
+	defer srv.Close()
+	getBody := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	// /flight index: at least one anomaly dump was frozen.
+	code, body := getBody("/flight")
+	if code != http.StatusOK {
+		t.Fatalf("/flight status %d", code)
+	}
+	var snap obs.FlightSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/flight JSON: %v", err)
+	}
+	if len(snap.Dumps) == 0 {
+		t.Fatal("chaos produced no anomaly dumps")
+	}
+	kinds := map[string]string{}
+	for _, d := range snap.Dumps {
+		kinds[d.Kind] = d.ID
+	}
+	exhaustedID, ok := kinds[obs.AnomalyRetryExhausted]
+	if !ok {
+		t.Fatalf("no retry-exhausted dump among %v", kinds)
+	}
+	if _, ok := kinds[obs.AnomalyBreakerOpen]; !ok {
+		t.Fatalf("no breaker-open dump among %v", kinds)
+	}
+
+	// The frozen dump is retrievable by id and its trigger record carries
+	// the forensic state: breaker state at admission and attempts consumed.
+	code, body = getBody("/flight?dump=" + exhaustedID)
+	if code != http.StatusOK {
+		t.Fatalf("dump retrieval status %d", code)
+	}
+	var dump obs.FlightDump
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatalf("dump JSON: %v", err)
+	}
+	if dump.Trigger.Attempts != pol.Retry.MaxAttempts {
+		t.Errorf("trigger attempts = %d, want %d", dump.Trigger.Attempts, pol.Retry.MaxAttempts)
+	}
+	if dump.Trigger.BreakerState == "" {
+		t.Error("trigger record lost the breaker state")
+	}
+	if dump.Trigger.Endpoint != "server:9000" {
+		t.Errorf("trigger endpoint = %q", dump.Trigger.Endpoint)
+	}
+	if len(dump.Records) == 0 {
+		t.Error("dump froze no context records")
+	}
+
+	// /metrics text exposition: breaker transition counter, per-endpoint
+	// breaker state gauge, retry telemetry and pool hit/miss counters.
+	code, body = getBody("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"maqs_breaker_transitions_total",
+		`maqs_breaker_state{endpoint="server:9000"} 1`, // Open = 1
+		"maqs_retry_attempts_total",
+		"maqs_retry_backoff_seconds_count",
+		"maqs_orb_pending_pool_hits_total",
+		"maqs_orb_pending_pool_misses_total",
+		"maqs_cdr_encoder_pool_hits_total",
+		"maqs_giop_frame_pool_hits_total",
+		"maqs_giop_frame_bytes_count",
+		`maqs_stripe_pending{endpoint="server:9000"} 0`, // all calls done
+		"maqs_stripe_widen_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 }
 

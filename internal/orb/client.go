@@ -61,6 +61,7 @@ func (m *iiopModule) Send(ctx context.Context, inv *Invocation) (*Outcome, error
 		sp.End()
 		return nil, err
 	}
+	inv.Stripe = conn.slot + 1
 	out, sent, recv, err := conn.roundTrip(ctx, inv)
 	if err == nil {
 		m.account(sent, recv)
@@ -84,21 +85,42 @@ type pendingReply struct {
 	ch chan *Outcome
 }
 
+// pendingPoolGets/Misses are process-global pool telemetry (a Get that
+// fell through to New is a miss). SetObservability exposes them as
+// callback counters.
+var (
+	pendingPoolGets   atomic.Uint64
+	pendingPoolMisses atomic.Uint64
+)
+
 var pendingPool = sync.Pool{New: func() any {
+	pendingPoolMisses.Add(1)
 	return &pendingReply{ch: make(chan *Outcome, 1)}
 }}
+
+// PendingPoolStats reports cumulative pendingReply pool gets and misses
+// (process-global, across all ORBs).
+func PendingPoolStats() (gets, misses uint64) {
+	return pendingPoolGets.Load(), pendingPoolMisses.Load()
+}
 
 // clientConn multiplexes concurrent requests over one connection.
 type clientConn struct {
 	orb  *ORB
 	addr string
 	raw  net.Conn
+	// slot is the stripe slot this connection occupies (zero-based,
+	// fixed at creation); invocations carry it into the flight recorder.
+	slot int
 
 	writeMu sync.Mutex // serialises whole messages
 
 	// inFlight counts registered outstanding replies; the endpoint stripe
 	// uses it for least-pending connection selection.
 	inFlight atomic.Int32
+	// pendingGauge mirrors inFlight into the per-endpoint stripe depth
+	// gauge, resolved once at creation (nil without observability).
+	pendingGauge *obs.Gauge
 
 	mu            sync.Mutex
 	nextID        uint32
@@ -107,14 +129,23 @@ type clientConn struct {
 	err           error // sticky failure
 }
 
-func newClientConn(o *ORB, addr string, raw net.Conn) *clientConn {
+func newClientConn(o *ORB, addr string, raw net.Conn, slot int) *clientConn {
 	return &clientConn{
 		orb:           o,
 		addr:          addr,
 		raw:           raw,
+		slot:          slot,
+		pendingGauge:  o.Metrics().Gauge(`maqs_stripe_pending{endpoint="` + addr + `"}`),
 		pending:       make(map[uint32]*pendingReply),
 		pendingLocate: make(map[uint32]chan giop.LocateStatus),
 	}
+}
+
+// trackPending shifts both the stripe-selection counter and the exported
+// pending-depth gauge.
+func (c *clientConn) trackPending(delta int32) {
+	c.inFlight.Add(delta)
+	c.pendingGauge.Add(int64(delta))
 }
 
 // register allocates a request id and, when a response is expected, its
@@ -130,9 +161,10 @@ func (c *clientConn) register(wantReply bool) (uint32, *pendingReply, error) {
 	if !wantReply {
 		return id, nil, nil
 	}
+	pendingPoolGets.Add(1)
 	p := pendingPool.Get().(*pendingReply)
 	c.pending[id] = p
-	c.inFlight.Add(1)
+	c.trackPending(1)
 	return id, p, nil
 }
 
@@ -140,7 +172,7 @@ func (c *clientConn) unregister(id uint32) {
 	c.mu.Lock()
 	if _, ok := c.pending[id]; ok {
 		delete(c.pending, id)
-		c.inFlight.Add(-1)
+		c.trackPending(-1)
 	}
 	c.mu.Unlock()
 }
@@ -273,7 +305,7 @@ func (c *clientConn) readLoop() {
 			p, ok := c.pending[h.RequestID]
 			if ok {
 				delete(c.pending, h.RequestID)
-				c.inFlight.Add(-1)
+				c.trackPending(-1)
 			}
 			c.mu.Unlock()
 			if !ok {
@@ -322,7 +354,7 @@ func (c *clientConn) close(cause *SystemException) {
 	c.err = cause
 	pending := c.pending
 	c.pending = make(map[uint32]*pendingReply)
-	c.inFlight.Add(int32(-len(pending)))
+	c.trackPending(int32(-len(pending)))
 	locates := c.pendingLocate
 	c.pendingLocate = make(map[uint32]chan giop.LocateStatus)
 	c.mu.Unlock()

@@ -34,6 +34,13 @@ type Invocation struct {
 	// resilience policy). Callers that cannot guarantee this leave it
 	// false: only failures before the request hit the wire are retried.
 	Idempotent bool
+	// Binding names the QoS characteristic the call is bound to, if any.
+	// Set by the QoS layer; carried into the flight recorder.
+	Binding string
+	// Stripe reports which connection-stripe slot delivered the request,
+	// as slot index + 1 (0 while unset). The transport module writes it
+	// on the way out so the flight recorder can attribute the attempt.
+	Stripe int
 	// Order is the byte order Args are encoded in.
 	Order cdr.ByteOrder
 }

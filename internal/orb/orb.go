@@ -140,6 +140,69 @@ func (o *ORB) SetObservability(b *obs.Observability) {
 		errors:   b.Registry.Counter("maqs_server_errors_total"),
 		latency:  b.Registry.Histogram("maqs_server_dispatch_seconds", nil),
 	})
+	registerPoolMetrics(b.Registry)
+}
+
+// registerPoolMetrics exposes the buffer-pool telemetry of the encoding
+// layers as callback instruments. The underlying atomics are
+// process-global (sync.Pools are package state shared by every ORB in
+// the process), so the numbers describe the process, not this ORB.
+func registerPoolMetrics(r *obs.Registry) {
+	r.CounterFunc("maqs_orb_pending_pool_hits_total", func() uint64 {
+		gets, misses := PendingPoolStats()
+		if gets < misses {
+			return 0
+		}
+		return gets - misses
+	})
+	r.CounterFunc("maqs_orb_pending_pool_misses_total", func() uint64 {
+		_, misses := PendingPoolStats()
+		return misses
+	})
+	r.CounterFunc("maqs_cdr_encoder_pool_hits_total", func() uint64 {
+		s := cdr.PoolStats()
+		if s.Gets < s.Misses {
+			return 0
+		}
+		return s.Gets - s.Misses
+	})
+	r.CounterFunc("maqs_cdr_encoder_pool_misses_total", func() uint64 {
+		return cdr.PoolStats().Misses
+	})
+	r.CounterFunc("maqs_cdr_encoder_pool_oversize_discards_total", func() uint64 {
+		return cdr.PoolStats().Oversize
+	})
+	r.CounterFunc("maqs_giop_frame_pool_hits_total", func() uint64 {
+		s := giop.FramePoolStats()
+		if s.Gets < s.Misses {
+			return 0
+		}
+		return s.Gets - s.Misses
+	})
+	r.CounterFunc("maqs_giop_frame_pool_misses_total", func() uint64 {
+		return giop.FramePoolStats().Misses
+	})
+	r.CounterFunc("maqs_giop_frame_pool_oversize_discards_total", func() uint64 {
+		return giop.FramePoolStats().Oversize
+	})
+	// The frame-size histogram is kept as plain atomics inside giop (it
+	// must not import obs); re-shape it into the text exposition's
+	// cumulative bucket/sum/count form here.
+	for i, bound := range giop.FrameSizeBounds {
+		idx := i
+		r.CounterFunc(fmt.Sprintf("maqs_giop_frame_bytes_bucket{le=%q}", strconv.Itoa(bound)), func() uint64 {
+			return giop.FrameSizes().Cumulative(idx)
+		})
+	}
+	r.CounterFunc(`maqs_giop_frame_bytes_bucket{le="+Inf"}`, func() uint64 {
+		return giop.FrameSizes().Count
+	})
+	r.CounterFunc("maqs_giop_frame_bytes_count", func() uint64 {
+		return giop.FrameSizes().Count
+	})
+	r.CounterFunc("maqs_giop_frame_bytes_sum", func() uint64 {
+		return giop.FrameSizes().Sum
+	})
 }
 
 // Observability returns the installed bundle, or nil.
@@ -164,6 +227,15 @@ func (o *ORB) Tracer() *obs.Tracer {
 func (o *ORB) Metrics() *obs.Registry {
 	if s := o.obsState.Load(); s != nil {
 		return s.bundle.Registry
+	}
+	return nil
+}
+
+// Flight returns the installed flight recorder, or nil (the disabled
+// recorder — all its methods are nil-safe).
+func (o *ORB) Flight() *obs.FlightRecorder {
+	if s := o.obsState.Load(); s != nil {
+		return s.bundle.Flight
 	}
 	return nil
 }
@@ -386,10 +458,13 @@ func (o *ORB) getConn(addr string) (*clientConn, error) {
 		}
 		return nil, NewSystemException(ExcTransient, 1, "connection to %s lost while dialing", addr)
 	}
-	c := newClientConn(o, addr, raw)
+	c := newClientConn(o, addr, raw, slot)
 	st.slots[slot] = c
 	o.wg.Add(1)
 	o.mu.Unlock()
+	// Every stripe member dial counts as a widen, including the first:
+	// the counter tracks how often load forces new connections.
+	o.Metrics().Counter("maqs_stripe_widen_total").Inc()
 
 	go func() {
 		defer o.wg.Done()
@@ -400,6 +475,7 @@ func (o *ORB) getConn(addr string) (*clientConn, error) {
 
 // dropConn removes a dead connection from its endpoint stripe.
 func (o *ORB) dropConn(addr string, c *clientConn) {
+	o.Metrics().Counter("maqs_stripe_evict_total").Inc()
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if st, ok := o.conns[addr]; ok {

@@ -53,15 +53,26 @@ func newResilienceState(o *ORB, p *resilience.Policy) *resilienceState {
 		breakers: resilience.NewGroup(pol.Breaker),
 		rand:     resilience.NewRand(pol.Seed),
 	}
-	// Fan breaker transitions into the metrics registry and log. The
-	// registry handle is re-read per transition so late
-	// SetObservability installs are picked up.
+	// Fan breaker transitions into the metrics registry, the flight
+	// recorder and the log. The registry handle is re-read per
+	// transition so late SetObservability installs are picked up.
 	s.breakers.Subscribe(func(tr resilience.Transition) {
 		m := o.Metrics()
 		m.Counter("maqs_breaker_transitions_total").Inc()
+		m.Gauge(`maqs_breaker_state{endpoint="` + tr.Endpoint + `"}`).Set(int64(tr.To))
 		switch {
 		case tr.To == resilience.Open:
 			m.Gauge("maqs_breaker_open").Add(1)
+			// An opening breaker is an anomaly in its own right: freeze
+			// the invocations that drove it over the threshold.
+			o.Flight().Trigger(obs.AnomalyBreakerOpen, obs.FlightRecord{
+				Operation:    "(breaker)",
+				Endpoint:     tr.Endpoint,
+				Stripe:       -1,
+				BreakerState: tr.To.String(),
+				Outcome:      tr.From.String() + "->" + tr.To.String(),
+				At:           tr.At,
+			})
 		case tr.From == resilience.Open:
 			m.Gauge("maqs_breaker_open").Add(-1)
 		}
@@ -104,18 +115,94 @@ func transportExc(sys *SystemException) bool {
 	return false
 }
 
-// send delivers inv through mod, applying the ORB's resilience policy:
-// per-endpoint circuit breaking, idempotency-gated retry with
-// exponential backoff + jitter, per-attempt timeouts, and deadline
-// budget propagation. With no policy installed it is a plain Send.
+// send delivers inv through mod via the resilience machinery in deliver
+// and, when a flight recorder is installed, wraps the delivery in a
+// flight record: trace linkage, endpoint, deadline budget at admission,
+// attempt count, breaker state, outcome label and wall latency. Anomalies
+// (retry exhaustion, deadline miss) freeze a dump. Without a recorder
+// the wrapper is two nil checks — the uninstrumented fast path is
+// untouched.
 func (o *ORB) send(ctx context.Context, mod TransportModule, inv *Invocation) (*Outcome, error) {
+	fr := o.Flight()
+	if fr == nil {
+		return o.deliver(ctx, mod, inv, nil)
+	}
+	rec := obs.FlightRecord{
+		Operation: inv.Operation,
+		Binding:   inv.Binding,
+		Stripe:    -1,
+	}
+	if inv.Target != nil {
+		rec.Endpoint = inv.Target.Profile.Addr()
+	}
+	if sc := obs.SpanFromContext(ctx).Context(); sc.Valid() {
+		rec.TraceID = sc.TraceID.String()
+		rec.SpanID = sc.SpanID.String()
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		rec.DeadlineBudget = time.Until(dl)
+	}
+	start := time.Now()
+	out, err := o.deliver(ctx, mod, inv, &rec)
+	rec.Latency = time.Since(start)
+	rec.At = time.Now()
+	rec.Outcome = outcomeLabel(out, err)
+	if rec.Anomaly == "" && (rec.Outcome == ExcTimeout || rec.Outcome == "deadline-exceeded") {
+		rec.Anomaly = obs.AnomalyDeadlineMiss
+	}
+	fr.Record(rec)
+	if rec.Anomaly != "" {
+		fr.Trigger(rec.Anomaly, rec)
+	}
+	return out, err
+}
+
+// outcomeLabel condenses an invocation result into the flight record's
+// outcome field: "ok", a system exception name, or a context verdict.
+func outcomeLabel(out *Outcome, err error) string {
+	e := err
+	if e == nil {
+		if out == nil {
+			return "ok"
+		}
+		e = out.Err()
+	}
+	if e == nil {
+		return "ok"
+	}
+	var sys *SystemException
+	if errors.As(e, &sys) {
+		return sys.Name
+	}
+	switch {
+	case errors.Is(e, context.DeadlineExceeded):
+		return "deadline-exceeded"
+	case errors.Is(e, context.Canceled):
+		return "canceled"
+	}
+	return "error"
+}
+
+// deliver applies the ORB's resilience policy: per-endpoint circuit
+// breaking, idempotency-gated retry with exponential backoff + jitter,
+// per-attempt timeouts, and deadline budget propagation. With no policy
+// installed it is a plain Send. rec, when non-nil, accumulates the
+// flight-record fields only this loop can see (attempts, breaker state
+// at admission, stripe, retry-exhaustion anomaly).
+func (o *ORB) deliver(ctx context.Context, mod TransportModule, inv *Invocation, rec *obs.FlightRecord) (*Outcome, error) {
 	s := o.res
 	if s == nil {
-		return mod.Send(ctx, inv)
+		out, err := mod.Send(ctx, inv)
+		if rec != nil {
+			rec.Attempts = 1
+			rec.Stripe = inv.Stripe - 1
+		}
+		return out, err
 	}
 	addr := inv.Target.Profile.Addr()
 	br := s.breakers.Get(addr)
 	sp := obs.SpanFromContext(ctx)
+	m := o.Metrics()
 
 	var out *Outcome
 	var err error
@@ -126,6 +213,9 @@ func (o *ORB) send(ctx context.Context, mod TransportModule, inv *Invocation) (*
 				sp.AddEvent("breaker.state",
 					obs.Attr{Key: "endpoint", Value: addr},
 					obs.Attr{Key: "decision", Value: "rejected"})
+				if rec != nil {
+					rec.BreakerState = br.State().String()
+				}
 			}
 			// A rejected attempt is not recorded: the breaker heals on
 			// probe outcomes, not on the load it sheds.
@@ -136,6 +226,13 @@ func (o *ORB) send(ctx context.Context, mod TransportModule, inv *Invocation) (*
 		}
 
 		stBefore := br.State()
+		if rec != nil {
+			rec.Attempts = attempt + 1
+			if attempt == 0 {
+				rec.BreakerState = stBefore.String()
+			}
+		}
+		m.Counter("maqs_retry_attempts_total").Inc()
 		attemptCtx, cancel := ctx, context.CancelFunc(nil)
 		if pat := s.policy.Retry.PerAttemptTimeout; pat > 0 {
 			attemptCtx, cancel = context.WithTimeout(ctx, pat)
@@ -143,9 +240,13 @@ func (o *ORB) send(ctx context.Context, mod TransportModule, inv *Invocation) (*
 		// Each attempt works on its own clone: modules rewrite Contexts
 		// (and replace Args) in place, and a retried invocation must
 		// start from the caller's original.
-		out, err = mod.Send(attemptCtx, inv.Clone())
+		att := inv.Clone()
+		out, err = mod.Send(attemptCtx, att)
 		if cancel != nil {
 			cancel()
+		}
+		if rec != nil && att.Stripe > 0 {
+			rec.Stripe = att.Stripe - 1
 		}
 
 		failed := transportFailure(out, err)
@@ -165,6 +266,9 @@ func (o *ORB) send(ctx context.Context, mod TransportModule, inv *Invocation) (*
 		// work (pre-wire) or the operation is declared idempotent, and
 		// the backoff still fits the caller's deadline budget.
 		if attempt+1 >= s.policy.Retry.MaxAttempts {
+			if rec != nil {
+				rec.Anomaly = obs.AnomalyRetryExhausted
+			}
 			return out, err
 		}
 		if !isNotSent(err) && !inv.Idempotent {
@@ -182,7 +286,8 @@ func (o *ORB) send(ctx context.Context, mod TransportModule, inv *Invocation) (*
 			obs.Attr{Key: "attempt", Value: strconv.Itoa(attempt + 2)},
 			obs.Attr{Key: "backoff", Value: delay.String()},
 			obs.Attr{Key: "endpoint", Value: addr})
-		o.Metrics().Counter("maqs_client_retries_total").Inc()
+		m.Counter("maqs_client_retries_total").Inc()
+		m.Histogram("maqs_retry_backoff_seconds", nil).Observe(delay)
 		timer := time.NewTimer(delay)
 		select {
 		case <-timer.C:

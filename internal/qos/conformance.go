@@ -1,0 +1,57 @@
+package qos
+
+import (
+	"time"
+
+	"maqs/internal/obs"
+)
+
+// Canonical contract-conformance metric names: the counter pair
+// splitting client observations into those within the negotiated
+// parameter bounds and those violating them. ConformanceObserver is the
+// only registration point, so the pair has exactly one name.
+const (
+	MetricConformanceOK         = "maqs_qos_conformance_ok_total"
+	MetricConformanceViolations = "maqs_qos_conformance_violations_total"
+)
+
+// ContractMaxRTTMs is the contract parameter ConformanceObserver
+// enforces: the negotiated upper bound on round-trip time, in
+// milliseconds. Contracts without it (or with a non-positive value) are
+// not checked.
+const ContractMaxRTTMs = "max_rtt_ms"
+
+// ConformanceObserver returns an Observer that scores every client
+// observation against the stub's negotiated contract: an RTT within the
+// contract's max_rtt_ms bound counts as conforming, one above it as a
+// violation. Violations additionally trigger a flight-recorder anomaly
+// dump (fr may be nil). Observations made while the stub has no binding,
+// or under a contract that sets no RTT bound, are not scored — there is
+// no agreement to violate.
+func ConformanceObserver(s *Stub, reg *obs.Registry, fr *obs.FlightRecorder) Observer {
+	ok := reg.Counter(MetricConformanceOK)
+	violations := reg.Counter(MetricConformanceViolations)
+	return func(o Observation) {
+		b := s.Binding()
+		if b == nil || b.Contract == nil {
+			return
+		}
+		maxMs := b.Contract.Number(ContractMaxRTTMs, 0)
+		if maxMs <= 0 {
+			return
+		}
+		if o.RTT <= time.Duration(maxMs*float64(time.Millisecond)) {
+			ok.Inc()
+			return
+		}
+		violations.Inc()
+		fr.Trigger(obs.AnomalyQoSViolation, obs.FlightRecord{
+			Operation: o.Operation,
+			Binding:   b.Characteristic,
+			Stripe:    -1,
+			Outcome:   "rtt-over-contract",
+			Latency:   o.RTT,
+			At:        o.At,
+		})
+	}
+}

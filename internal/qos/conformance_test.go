@@ -1,0 +1,74 @@
+package qos
+
+import (
+	"testing"
+	"time"
+
+	"maqs/internal/obs"
+)
+
+// conformanceStub fabricates a stub whose binding carries the given
+// max_rtt_ms bound (0 = no bound; nil contract when negative).
+func conformanceStub(maxRTTMs float64) *Stub {
+	s := &Stub{}
+	if maxRTTMs < 0 {
+		s.binding = &Binding{Characteristic: "compression"}
+		return s
+	}
+	values := map[string]Value{}
+	if maxRTTMs > 0 {
+		values[ContractMaxRTTMs] = Number(maxRTTMs)
+	}
+	s.binding = &Binding{
+		Characteristic: "compression",
+		Contract:       &Contract{Characteristic: "compression", Values: values},
+	}
+	return s
+}
+
+func TestConformanceObserverScoresAgainstContract(t *testing.T) {
+	reg := obs.NewRegistry()
+	fr := obs.NewFlightRecorder(16, 4, 4)
+	fr.SetDumpCooldown(0)
+	s := conformanceStub(10) // 10ms bound
+	observe := ConformanceObserver(s, reg, fr)
+
+	observe(Observation{Operation: "fetch", RTT: 4 * time.Millisecond})
+	observe(Observation{Operation: "fetch", RTT: 10 * time.Millisecond}) // at the bound: conforming
+	observe(Observation{Operation: "fetch", RTT: 25 * time.Millisecond})
+
+	if v := reg.Counter(MetricConformanceOK).Value(); v != 2 {
+		t.Errorf("ok = %d, want 2", v)
+	}
+	if v := reg.Counter(MetricConformanceViolations).Value(); v != 1 {
+		t.Errorf("violations = %d, want 1", v)
+	}
+	// The violation froze a qos-violation dump with the offending call.
+	dumps := fr.Dumps()
+	if len(dumps) != 1 || dumps[0].Kind != obs.AnomalyQoSViolation {
+		t.Fatalf("dumps = %+v, want one qos-violation", dumps)
+	}
+	d, _ := fr.Dump(dumps[0].ID)
+	if d.Trigger.Operation != "fetch" || d.Trigger.Latency != 25*time.Millisecond {
+		t.Errorf("trigger = %+v", d.Trigger)
+	}
+	if d.Trigger.Binding != "compression" || d.Trigger.Outcome != "rtt-over-contract" {
+		t.Errorf("trigger forensic fields = %+v", d.Trigger)
+	}
+}
+
+func TestConformanceObserverSkipsUnboundCalls(t *testing.T) {
+	reg := obs.NewRegistry()
+	cases := map[string]*Stub{
+		"no binding":   {},
+		"no contract":  conformanceStub(-1),
+		"no rtt bound": conformanceStub(0),
+	}
+	for _, s := range cases {
+		observe := ConformanceObserver(s, reg, nil) // nil recorder must be fine
+		observe(Observation{Operation: "fetch", RTT: time.Hour})
+	}
+	if ok, bad := reg.Counter(MetricConformanceOK).Value(), reg.Counter(MetricConformanceViolations).Value(); ok != 0 || bad != 0 {
+		t.Errorf("unscored observations counted: ok=%d violations=%d (cases %d)", ok, bad, len(cases))
+	}
+}

@@ -118,6 +118,18 @@ func (d *Degrader) Degrade(ctx context.Context, reason string) (*Contract, error
 		obs.Attr{Key: "reason", Value: reason},
 		obs.Attr{Key: "level", Value: strconv.Itoa(level)})
 	d.stub.orb.Metrics().Counter("maqs_qos_degradations_total").Inc()
+	// A ladder step is an anomaly worth forensics: freeze the calls that
+	// led up to the renegotiation.
+	binding := ""
+	if b := d.stub.Binding(); b != nil {
+		binding = b.Characteristic
+	}
+	d.stub.orb.Flight().Trigger(obs.AnomalyDegradeStep, obs.FlightRecord{
+		Operation: "(qos)",
+		Binding:   binding,
+		Stripe:    -1,
+		Outcome:   "degraded:" + step.Name + " reason:" + reason,
+	})
 	d.stub.orb.Logger().Info("qos: degraded contract",
 		"step", step.Name, "reason", reason, "level", level)
 	return contract, nil

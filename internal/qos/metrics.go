@@ -2,6 +2,18 @@ package qos
 
 import "maqs/internal/obs"
 
+// Canonical client-side metric names. MetricsObserver and
+// Monitor.Publish (with its default prefix) bind to the same
+// instruments through these, so the two paths cannot register
+// overlapping, differently-named copies of the same measurement.
+const (
+	MetricClientRequests     = "maqs_client_requests_total"
+	MetricClientErrors       = "maqs_client_errors_total"
+	MetricClientRequestBytes = "maqs_client_request_bytes_total"
+	MetricClientReplyBytes   = "maqs_client_reply_bytes_total"
+	MetricClientRTT          = "maqs_client_rtt_seconds"
+)
+
 // MetricsObserver returns an Observer feeding client-side invocation
 // metrics into reg: request/error counters, payload byte counters and
 // the round-trip latency histogram. Instruments are resolved once here,
@@ -9,11 +21,11 @@ import "maqs/internal/obs"
 // with Stub.AddObserver so it coexists with a qos.Monitor (maqs.System
 // attaches it automatically when observability is enabled).
 func MetricsObserver(reg *obs.Registry) Observer {
-	requests := reg.Counter("maqs_client_requests_total")
-	errors := reg.Counter("maqs_client_errors_total")
-	reqBytes := reg.Counter("maqs_client_request_bytes_total")
-	repBytes := reg.Counter("maqs_client_reply_bytes_total")
-	rtt := reg.Histogram("maqs_client_rtt_seconds", nil)
+	requests := reg.Counter(MetricClientRequests)
+	errors := reg.Counter(MetricClientErrors)
+	reqBytes := reg.Counter(MetricClientRequestBytes)
+	repBytes := reg.Counter(MetricClientReplyBytes)
+	rtt := reg.Histogram(MetricClientRTT, nil)
 	return func(o Observation) {
 		requests.Inc()
 		if o.Err != nil {

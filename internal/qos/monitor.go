@@ -56,16 +56,26 @@ func NewMonitor(windowSize int) *Monitor {
 	return &Monitor{windowSize: windowSize, alpha: 0.2, ring: make([]Observation, windowSize)}
 }
 
-// Publish additionally feeds every observation into reg under the given
-// metric name prefix ("maqs_monitor" when empty): <prefix>_observations_total,
-// <prefix>_errors_total and the <prefix>_rtt_seconds histogram. The
-// monitor's sliding-window statistics are unaffected.
+// Publish additionally feeds every observation into reg. With an empty
+// prefix it binds to the canonical client instruments
+// (maqs_client_requests_total / _errors_total / _rtt_seconds) — the very
+// same Counter and Histogram pointers MetricsObserver uses, so a stub
+// carrying both sinks double-counts visibly rather than registering a
+// parallel maqs_monitor_* family of the same measurement (attach only
+// one of the two). A non-empty prefix keeps the historical behaviour:
+// <prefix>_observations_total, <prefix>_errors_total and the
+// <prefix>_rtt_seconds histogram, for monitors that watch something
+// other than the whole client. The monitor's sliding-window statistics
+// are unaffected.
 func (m *Monitor) Publish(reg *obs.Registry, prefix string) {
-	if prefix == "" {
-		prefix = "maqs_monitor"
-	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if prefix == "" {
+		m.mObservations = reg.Counter(MetricClientRequests)
+		m.mErrors = reg.Counter(MetricClientErrors)
+		m.mRTT = reg.Histogram(MetricClientRTT, nil)
+		return
+	}
 	m.mObservations = reg.Counter(prefix + "_observations_total")
 	m.mErrors = reg.Counter(prefix + "_errors_total")
 	m.mRTT = reg.Histogram(prefix+"_rtt_seconds", nil)

@@ -187,6 +187,7 @@ func (s *Stub) Invoke(ctx context.Context, op string, args []byte, oneway bool) 
 		Order:            s.orb.Order(),
 	}
 	if binding != nil {
+		inv.Binding = binding.Characteristic
 		inv.Contexts = inv.Contexts.With(giop.SCQoS, QoSTag{
 			Characteristic: binding.Characteristic,
 			BindingID:      binding.ID,

@@ -103,13 +103,24 @@ type (
 	// Module is a transport-layer QoS module.
 	Module = transport.Module
 
-	// Observability bundles the metrics registry, span collector and
-	// tracer threaded through the invocation path (see internal/obs).
+	// Observability bundles the metrics registry, span collector,
+	// tracer and flight recorder threaded through the invocation path
+	// (see internal/obs).
 	Observability = obs.Observability
+	// ObservabilityConfig sizes an Observability bundle (span collector
+	// and flight recorder) for NewObservabilityWithConfig.
+	ObservabilityConfig = obs.Config
 	// MetricsRegistry is the lock-cheap metrics registry.
 	MetricsRegistry = obs.Registry
 	// SpanRecord is one finished span as stored by the collector.
 	SpanRecord = obs.SpanRecord
+	// FlightRecorder is the always-on bounded ring of per-invocation
+	// records with anomaly-triggered dumps (see docs/OBSERVABILITY.md).
+	FlightRecorder = obs.FlightRecorder
+	// FlightRecord is one retained invocation record.
+	FlightRecord = obs.FlightRecord
+	// FlightDump is one frozen anomaly snapshot.
+	FlightDump = obs.FlightDump
 
 	// Network is the simulated network used for testing and experiments.
 	Network = netsim.Network
@@ -165,12 +176,18 @@ var (
 	NewServerSkeleton = qos.NewServerSkeleton
 	// ParseIOR parses a stringified object reference.
 	ParseIOR = ior.Parse
-	// NewObservability constructs a metrics + tracing bundle for
-	// Options.Observability.
+	// NewObservability constructs a metrics + tracing + flight-recorder
+	// bundle for Options.Observability.
 	NewObservability = obs.New
+	// NewObservabilityWithConfig constructs an explicitly sized bundle
+	// (span-collector and flight-recorder capacities).
+	NewObservabilityWithConfig = obs.NewWithConfig
 	// NewMetricsObserver builds a Stub observer feeding client metrics
 	// into a registry.
 	NewMetricsObserver = qos.MetricsObserver
+	// NewConformanceObserver builds a Stub observer scoring observations
+	// against the negotiated contract's max_rtt_ms bound.
+	NewConformanceObserver = qos.ConformanceObserver
 	// DefaultResiliencePolicy returns the stock retry + breaker policy.
 	DefaultResiliencePolicy = resilience.DefaultPolicy
 	// NewDegrader builds a QoS degradation ladder over a stub.
@@ -288,6 +305,32 @@ func NewSystem(opts Options) (*System, error) {
 	t := transport.Install(o)
 	registry := qos.NewRegistry()
 	sys := &System{ORB: o, Transport: t, Registry: registry, Observability: opts.Observability}
+	if b := opts.Observability; b != nil {
+		// Readiness checks for the /ready endpoint: breaker health (a
+		// system with an open breaker is degraded, not ready) and a
+		// bindings summary for operators.
+		b.SetReadiness("breakers", func() (bool, string) {
+			g := o.Breakers()
+			if g == nil {
+				return true, "resilience disabled"
+			}
+			open := 0
+			endpoints := g.Endpoints()
+			for _, ep := range endpoints {
+				if g.Get(ep).State() == resilience.Open {
+					open++
+				}
+			}
+			if open > 0 {
+				return false, fmt.Sprintf("%d of %d endpoint breakers open", open, len(endpoints))
+			}
+			return true, fmt.Sprintf("%d endpoint breakers closed", len(endpoints))
+		})
+		b.SetReadiness("bindings", func() (bool, string) {
+			n := b.Registry.Gauge("maqs_client_bindings").Value()
+			return true, fmt.Sprintf("%d QoS bindings negotiated", n)
+		})
+	}
 	if !opts.SkipStandardModules {
 		if err := compression.RegisterModule(t); err != nil {
 			return nil, fmt.Errorf("maqs: %w", err)
@@ -331,11 +374,13 @@ func (s *System) ActivateQoS(key, typeID string, servant orb.Servant, info ior.Q
 
 // Stub wraps a reference for QoS-aware invocation against this system's
 // registry. When the system is observable, the stub is created with a
-// metrics observer already attached (stack a Monitor with AddObserver).
+// metrics observer and a contract-conformance observer already attached
+// (stack a Monitor with AddObserver).
 func (s *System) Stub(ref *ior.IOR) *qos.Stub {
 	stub := qos.NewStubWithRegistry(s.ORB, ref, s.Registry)
 	if s.Observability != nil {
 		stub.AddObserver(qos.MetricsObserver(s.Observability.Registry))
+		stub.AddObserver(qos.ConformanceObserver(stub, s.Observability.Registry, s.Observability.Flight))
 	}
 	return stub
 }
