@@ -5,21 +5,26 @@ GO ?= go
 # (BENCH_1.json, BENCH_2.json, ...): see docs/PERFORMANCE.md.
 BENCH_OUT ?= BENCH_5.json
 
+# Trajectory file produced by `make loadgen` (the open-loop load harness's
+# full default run): see docs/LOADGEN.md.
+LOADGEN_OUT ?= BENCH_6.json
+
 # Coverage floor (percent) enforced by `make cover` on the observability
 # package: the flight recorder and debug endpoints are the forensics layer,
 # so they stay thoroughly tested.
 COVER_PKG ?= ./internal/obs
 COVER_FLOOR ?= 75
 
-.PHONY: all check vet build test race bench bench-smoke chaos cover clean
+.PHONY: all check vet build test race bench bench-smoke loadgen loadgen-smoke chaos cover clean
 
 all: check
 
 # check is the full gate: vet, build everything, race-enabled tests, the
 # chaos suite (fault injection + resilience) on its own for a readable
-# verdict, the observability coverage floor, and a one-iteration bench
-# smoke so benchmark code can't rot.
-check: vet build race chaos cover bench-smoke
+# verdict, the observability coverage floor, a one-iteration bench smoke
+# so benchmark code can't rot, and the loadgen smoke run so the open-loop
+# harness keeps driving a real server end to end.
+check: vet build race chaos cover bench-smoke loadgen-smoke
 
 vet:
 	$(GO) vet ./...
@@ -43,6 +48,20 @@ bench:
 # harness still compiles and runs without paying measurement time.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' . ./internal/orb ./internal/cdr
+
+# loadgen runs the full open-loop trajectory workload (>=100k requests
+# across three QoS classes) against an in-process server and records the
+# coordinated-omission-correct percentiles (see docs/LOADGEN.md).
+loadgen:
+	$(GO) run ./cmd/maqs-loadgen -self -scenario default -seed 1 -o $(LOADGEN_OUT)
+
+# loadgen-smoke drives the ~1.2k-request smoke preset over loopback TCP:
+# a fast end-to-end proof that the harness schedules, negotiates and
+# reports. Fails on any request error.
+loadgen-smoke:
+	@out=$$($(GO) run ./cmd/maqs-loadgen -self -scenario smoke -seed 1 -report 10s) || { echo "$$out"; exit 1; }; \
+	echo "$$out"; \
+	echo "$$out" | grep -q ', errors 0' || { echo "loadgen-smoke: request errors reported"; exit 1; }
 
 # cover enforces the coverage floor on the observability package. It fails
 # when the package's statement coverage drops below COVER_FLOOR percent.

@@ -9,28 +9,21 @@
 //
 // Each benchmark line becomes one record with the benchmark name (GOMAXPROCS
 // suffix stripped), iteration count, ns/op, and — when -benchmem is on —
-// B/op and allocs/op. Context lines (goos/goarch/pkg/cpu) are captured into
-// the file header so a BENCH_*.json is self-describing.
+// B/op and allocs/op. Context lines (goos/goarch/cpu) are captured into
+// the file header, and the git commit hash plus an ISO-8601 timestamp are
+// stamped alongside them, so a BENCH_*.json is attributable to the exact
+// tree and moment that produced it. The parsing and writing live in
+// internal/benchfmt, shared with the loadgen report writer.
 package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
-)
 
-// Result is one parsed benchmark line.
-type Result struct {
-	Name       string  `json:"name"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
-}
+	"maqs/internal/benchfmt"
+)
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
@@ -48,90 +41,28 @@ func run(args []string, in *os.File, out, errw *os.File) int {
 		return 2
 	}
 
-	doc := struct {
-		Context map[string]string `json:"context"`
-		Results []Result          `json:"results"`
-	}{Context: map[string]string{}}
+	doc := benchfmt.NewDoc()
 
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Fprintln(out, line)
-		if r, ok := parseBenchLine(line); ok {
+		if r, ok := benchfmt.ParseLine(line); ok {
 			doc.Results = append(doc.Results, r)
 			continue
 		}
-		// pkg is deliberately not captured: one bench run spans several
-		// packages and a single context value would be misleading.
-		if k, v, ok := strings.Cut(line, ": "); ok {
-			switch k {
-			case "goos", "goarch", "cpu":
-				doc.Context[k] = v
-			}
-		}
+		benchfmt.ParseContextLine(doc.Context, line)
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(errw, "benchjson: reading input: %v\n", err)
 		return 1
 	}
 
-	data, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		fmt.Fprintf(errw, "benchjson: %v\n", err)
-		return 1
-	}
-	if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+	if err := doc.WriteFile(*outPath); err != nil {
 		fmt.Fprintf(errw, "benchjson: %v\n", err)
 		return 1
 	}
 	fmt.Fprintf(errw, "benchjson: wrote %d results to %s\n", len(doc.Results), *outPath)
 	return 0
-}
-
-// parseBenchLine parses a `go test -bench` result line such as
-//
-//	BenchmarkE1Interception/plain/0B-8   163844   7534 ns/op   1680 B/op   42 allocs/op
-//
-// returning ok=false for anything that is not a benchmark result.
-func parseBenchLine(line string) (Result, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return Result{}, false
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Result{}, false
-	}
-	r := Result{Name: trimProcSuffix(fields[0]), Iterations: iters}
-	seen := false
-	for i := 2; i+1 < len(fields); i += 2 {
-		val, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			continue
-		}
-		switch fields[i+1] {
-		case "ns/op":
-			r.NsPerOp = val
-			seen = true
-		case "B/op":
-			r.BytesPerOp = val
-		case "allocs/op":
-			r.AllocsPerOp = val
-		}
-	}
-	return r, seen
-}
-
-// trimProcSuffix drops the trailing -N GOMAXPROCS marker from a benchmark
-// name so trajectories compare across machines with different core counts.
-func trimProcSuffix(name string) string {
-	i := strings.LastIndexByte(name, '-')
-	if i < 0 {
-		return name
-	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
-	}
-	return name[:i]
 }

@@ -1,0 +1,264 @@
+// Command maqs-loadgen drives an open-loop, coordinated-omission-correct
+// load run against a maqs server and reports per-QoS-class latency
+// percentiles, throughput and error/retry counts.
+//
+// Usage:
+//
+//	maqs-loadgen -self -scenario default -o BENCH_6.json
+//	maqs-loadgen -ior <stringified-ior> -scenario scenarios.json
+//
+// Modes:
+//
+//	-self        start an in-process echo/document server on a TCP
+//	             loopback port (the cmd/maqs-server demo servant with the
+//	             Compression/Encryption/Actuality characteristics) and
+//	             drive it — the one-command benchmark.
+//	-ior REF     drive an external server (a stringified IOR, or @file to
+//	             read it from a file — as printed by cmd/maqs-server).
+//
+// The scenario set is a preset name ("smoke", "default") or a JSON file
+// (see docs/LOADGEN.md for the schema). Requests follow each scenario's
+// intended arrival schedule regardless of server progress, and latency
+// is measured from the intended timestamps, so percentiles include the
+// queueing delay a stalled server inflicts — no coordinated omission.
+//
+// With -debug, the observability HTTP surface (/metrics, /trace,
+// /flight, ...) is served with the live run status mounted on /loadgen.
+// With -o, the final report is written in the BENCH_*.json trajectory
+// format shared with cmd/benchjson.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"maqs"
+	"maqs/internal/characteristics/actuality"
+	"maqs/internal/characteristics/compression"
+	"maqs/internal/characteristics/encryption"
+	"maqs/internal/ior"
+	"maqs/internal/loadgen"
+	"maqs/internal/orb"
+	"maqs/internal/qos"
+)
+
+// selfServant mirrors the cmd/maqs-server demo servant: echo plus a
+// small document store, enough surface for every scenario operation.
+type selfServant struct {
+	mu  sync.Mutex
+	doc []byte
+}
+
+func (s *selfServant) Invoke(req *maqs.ServerRequest) error {
+	switch req.Operation {
+	case "echo":
+		p, err := req.In().ReadOctets()
+		if err != nil {
+			return err
+		}
+		req.Out.WriteOctets(p)
+		return nil
+	case "get_document":
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		req.Out.WriteOctets(s.doc)
+		return nil
+	case "put_document":
+		p, err := req.In().ReadOctets()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.doc = append(s.doc[:0], p...)
+		s.mu.Unlock()
+		return nil
+	case "get_time":
+		req.Out.WriteLongLong(time.Now().UnixNano())
+		return nil
+	default:
+		return orb.NewSystemException(orb.ExcBadOperation, 1, "no operation %q", req.Operation)
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "maqs-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	self := flag.Bool("self", false, "start an in-process target server on a loopback port")
+	iorFlag := flag.String("ior", "", "target object reference (stringified IOR, or @file)")
+	scenario := flag.String("scenario", "default", `scenario set: preset name ("smoke", "default") or a JSON file path`)
+	seed := flag.Uint64("seed", 1, "PRNG seed: same seed, same schedule and payload draws")
+	conns := flag.Int("conns", 4, "connections per endpoint in each class's stripe")
+	debug := flag.String("debug", "", "HTTP debug address serving /metrics, /trace, /flight and the live /loadgen status (empty: disabled)")
+	out := flag.String("o", "", "write the final report as BENCH-format JSON to this file (empty: stdout summary only)")
+	report := flag.Duration("report", 2*time.Second, "interval between live progress summaries")
+	flag.Parse()
+
+	scenarios := loadgen.Preset(*scenario)
+	if scenarios == nil {
+		var err error
+		if scenarios, err = loadgen.LoadScenarios(*scenario); err != nil {
+			return fmt.Errorf("scenario %q is neither a preset nor a readable file: %w", *scenario, err)
+		}
+	}
+
+	var target *ior.IOR
+	switch {
+	case *self && *iorFlag != "":
+		return fmt.Errorf("-self and -ior are mutually exclusive")
+	case *self:
+		ref, shutdown, err := startSelfServer()
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		target = ref
+		fmt.Printf("self target on %s\n", ref.Profile.Addr())
+	case *iorFlag != "":
+		raw := *iorFlag
+		if strings.HasPrefix(raw, "@") {
+			data, err := os.ReadFile(raw[1:])
+			if err != nil {
+				return err
+			}
+			raw = strings.TrimSpace(string(data))
+		}
+		ref, err := ior.Parse(raw)
+		if err != nil {
+			return fmt.Errorf("parsing -ior: %w", err)
+		}
+		target = ref
+	default:
+		return fmt.Errorf("either -self or -ior is required")
+	}
+
+	runner, err := loadgen.NewRunner(loadgen.Config{
+		Target:           target,
+		Scenarios:        scenarios,
+		Seed:             *seed,
+		ConnsPerEndpoint: *conns,
+		Summary:          os.Stdout,
+		SummaryEvery:     *report,
+	})
+	if err != nil {
+		return err
+	}
+	defer runner.Close()
+
+	var debugSrv *http.Server
+	if *debug != "" {
+		ln, err := net.Listen("tcp", *debug)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		bundle := maqs.NewObservability()
+		bundle.SetDebugPage("/loadgen", runner.Status)
+		debugSrv = &http.Server{Handler: bundle.Handler()}
+		go func() { _ = debugSrv.Serve(ln) }()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_ = debugSrv.Shutdown(ctx)
+			cancel()
+		}()
+		fmt.Printf("debug endpoint on http://%s/ (live status on /loadgen)\n", ln.Addr())
+	}
+
+	// Ctrl-C ends the run early; the report covers what completed.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	var total int
+	for _, s := range scenarios {
+		total += s.Requests
+	}
+	fmt.Printf("open-loop run: %d scenarios, %d requests, seed %d\n\n", len(scenarios), total, *seed)
+
+	rep, err := runner.Run(ctx)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nrun finished in %.2fs: %d/%d completed, %d errors\n",
+		rep.DurationSeconds, rep.TotalCompleted, rep.TotalScheduled, rep.TotalErrors)
+	for _, c := range rep.Classes {
+		fmt.Printf("\nclass %s (%s", c.Class, c.Operation)
+		if c.Characteristic != "" {
+			fmt.Printf(", %s", c.Characteristic)
+		}
+		fmt.Printf("):\n")
+		fmt.Printf("  completed  %d/%d, %.0f req/s, errors %d", c.Completed, c.Scheduled, c.ThroughputRPS, c.Errors)
+		if c.Errors > 0 {
+			fmt.Printf(" (%s)", c.ErrKindsString())
+		}
+		if c.Retries > 0 || c.Degrades > 0 {
+			fmt.Printf(", retries %d, degrades %d", c.Retries, c.Degrades)
+		}
+		fmt.Println()
+		fmt.Printf("  latency    p50 %-10v p90 %-10v p99 %-10v p99.9 %-10v max %v\n",
+			ns(c.Latency.P50Ns), ns(c.Latency.P90Ns), ns(c.Latency.P99Ns), ns(c.Latency.P999Ns), ns(c.Latency.MaxNs))
+		fmt.Printf("  service    p50 %-10v p90 %-10v p99 %-10v p99.9 %-10v max %v\n",
+			ns(c.Service.P50Ns), ns(c.Service.P90Ns), ns(c.Service.P99Ns), ns(c.Service.P999Ns), ns(c.Service.MaxNs))
+	}
+
+	if *out != "" {
+		if err := rep.BenchDoc().WriteFile(*out); err != nil {
+			return fmt.Errorf("writing %s: %w", *out, err)
+		}
+		fmt.Printf("\nreport written to %s\n", *out)
+	}
+	return nil
+}
+
+func ns(v int64) time.Duration { return time.Duration(v).Round(time.Microsecond) }
+
+// startSelfServer brings up the in-process target: the demo servant with
+// the three standard characteristics on a loopback TCP port.
+func startSelfServer() (*ior.IOR, func(), error) {
+	sys, err := maqs.NewSystem(maqs.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := sys.Listen("127.0.0.1:0"); err != nil {
+		sys.Shutdown()
+		return nil, nil, err
+	}
+	for _, mod := range []string{compression.ModuleName, encryption.ModuleName} {
+		if err := sys.LoadModule(mod, nil); err != nil {
+			sys.Shutdown()
+			return nil, nil, err
+		}
+	}
+	skel := maqs.NewServerSkeleton(&selfServant{doc: []byte("loadgen self target")})
+	for _, impl := range []qos.Impl{
+		compression.NewImpl(0),
+		encryption.NewImpl(0),
+		actuality.NewImpl(0, time.Minute),
+	} {
+		if err := skel.AddQoS(impl); err != nil {
+			sys.Shutdown()
+			return nil, nil, err
+		}
+	}
+	ref, err := sys.ActivateQoS("load", "IDL:maqs/Demo:1.0", skel, maqs.QoSInfo{
+		Characteristics: []string{maqs.Compression, maqs.Encryption, maqs.Actuality},
+		Modules:         []string{compression.ModuleName, encryption.ModuleName},
+	})
+	if err != nil {
+		sys.Shutdown()
+		return nil, nil, err
+	}
+	return ref, sys.Shutdown, nil
+}

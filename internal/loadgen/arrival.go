@@ -1,0 +1,193 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// An arrival process generates the *intended* schedule of an open-loop
+// workload: a sequence of inter-arrival gaps, independent of how fast
+// the system under test answers. All processes are deterministic given
+// the runner's seed, so a run is exactly repeatable.
+
+// ArrivalSpec selects and parameterises an arrival process. It is the
+// JSON-facing declarative form (see docs/LOADGEN.md for the models).
+type ArrivalSpec struct {
+	// Kind is "poisson" (default), "uniform" or "bursty".
+	Kind string `json:"kind,omitempty"`
+	// Rate is the mean arrival rate in requests/second (> 0).
+	Rate float64 `json:"rate"`
+	// Burst shapes the "bursty" kind: the process alternates between a
+	// burst phase at Rate·Burst and an idle phase at Rate/Burst, each
+	// lasting BurstLen arrivals, keeping the long-run mean near Rate.
+	// Values ≤ 1 fall back to 4.
+	Burst float64 `json:"burst,omitempty"`
+	// BurstLen is the number of arrivals per phase (default 64).
+	BurstLen int `json:"burst_len,omitempty"`
+}
+
+// arrival yields successive inter-arrival gaps in seconds.
+type arrival interface {
+	next(rng *rand.Rand) float64
+}
+
+// newArrival compiles a spec.
+func newArrival(s ArrivalSpec) (arrival, error) {
+	if s.Rate <= 0 {
+		return nil, fmt.Errorf("loadgen: arrival rate must be positive, got %g", s.Rate)
+	}
+	switch s.Kind {
+	case "", "poisson":
+		return poissonArrival{rate: s.Rate}, nil
+	case "uniform":
+		return uniformArrival{gap: 1 / s.Rate}, nil
+	case "bursty":
+		burst := s.Burst
+		if burst <= 1 {
+			burst = 4
+		}
+		length := s.BurstLen
+		if length <= 0 {
+			length = 64
+		}
+		return &burstyArrival{
+			hot:    poissonArrival{rate: s.Rate * burst},
+			cold:   poissonArrival{rate: s.Rate / burst},
+			length: length,
+		}, nil
+	default:
+		return nil, fmt.Errorf("loadgen: unknown arrival kind %q", s.Kind)
+	}
+}
+
+// poissonArrival is a Poisson process: exponentially distributed gaps.
+type poissonArrival struct{ rate float64 }
+
+func (p poissonArrival) next(rng *rand.Rand) float64 {
+	return rng.ExpFloat64() / p.rate
+}
+
+// uniformArrival issues perfectly paced requests (constant gap) — the
+// cleanest signal for latency-under-known-load measurements.
+type uniformArrival struct{ gap float64 }
+
+func (u uniformArrival) next(*rand.Rand) float64 { return u.gap }
+
+// burstyArrival alternates Poisson phases: length arrivals at the hot
+// rate, then length at the cold rate. It models flash-crowd traffic and
+// exercises queue build-up/drain.
+type burstyArrival struct {
+	hot, cold poissonArrival
+	length    int
+	pos       int
+	inBurst   bool
+}
+
+func (b *burstyArrival) next(rng *rand.Rand) float64 {
+	if b.pos == 0 {
+		b.inBurst = !b.inBurst
+		b.pos = b.length
+	}
+	b.pos--
+	if b.inBurst {
+		return b.hot.next(rng)
+	}
+	return b.cold.next(rng)
+}
+
+// PayloadSpec selects and parameterises the request payload size mix.
+type PayloadSpec struct {
+	// Kind is "fixed" (default), "bimodal" or "pareto".
+	Kind string `json:"kind,omitempty"`
+	// Size is the fixed size, the bimodal small size, or the Pareto
+	// minimum, in bytes.
+	Size int `json:"size,omitempty"`
+	// Large and LargeFrac shape "bimodal": a LargeFrac fraction of
+	// requests carry Large bytes instead of Size.
+	Large     int     `json:"large,omitempty"`
+	LargeFrac float64 `json:"large_frac,omitempty"`
+	// Alpha is the Pareto tail exponent (default 1.3 — heavy-tailed with
+	// finite mean); Max caps a single payload (default 256 KiB).
+	Alpha float64 `json:"alpha,omitempty"`
+	Max   int     `json:"max,omitempty"`
+}
+
+// payload yields successive request payload sizes in bytes.
+type payload interface {
+	size(rng *rand.Rand) int
+}
+
+func newPayload(s PayloadSpec) (payload, error) {
+	if s.Size < 0 {
+		return nil, fmt.Errorf("loadgen: negative payload size %d", s.Size)
+	}
+	switch s.Kind {
+	case "", "fixed":
+		return fixedPayload{n: s.Size}, nil
+	case "bimodal":
+		frac := s.LargeFrac
+		if frac < 0 || frac > 1 {
+			return nil, fmt.Errorf("loadgen: bimodal large_frac %g outside [0,1]", frac)
+		}
+		large := s.Large
+		if large <= 0 {
+			large = 16 * s.Size
+		}
+		return bimodalPayload{small: s.Size, large: large, frac: frac}, nil
+	case "pareto":
+		alpha := s.Alpha
+		if alpha <= 0 {
+			alpha = 1.3
+		}
+		minSize := s.Size
+		if minSize <= 0 {
+			minSize = 64
+		}
+		maxSize := s.Max
+		if maxSize <= minSize {
+			maxSize = 256 << 10
+		}
+		return paretoPayload{min: float64(minSize), alpha: alpha, max: maxSize}, nil
+	default:
+		return nil, fmt.Errorf("loadgen: unknown payload kind %q", s.Kind)
+	}
+}
+
+type fixedPayload struct{ n int }
+
+func (f fixedPayload) size(*rand.Rand) int { return f.n }
+
+type bimodalPayload struct {
+	small, large int
+	frac         float64
+}
+
+func (b bimodalPayload) size(rng *rand.Rand) int {
+	if rng.Float64() < b.frac {
+		return b.large
+	}
+	return b.small
+}
+
+// paretoPayload draws from a bounded Pareto distribution: most payloads
+// sit near min, a heavy tail reaches toward max — the classic
+// document/response size shape.
+type paretoPayload struct {
+	min   float64
+	alpha float64
+	max   int
+}
+
+func (p paretoPayload) size(rng *rand.Rand) int {
+	// Inverse-CDF sampling: X = min / U^(1/alpha).
+	u := rng.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	n := int(p.min * math.Pow(u, -1/p.alpha))
+	if n > p.max {
+		n = p.max
+	}
+	return n
+}

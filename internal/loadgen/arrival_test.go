@@ -1,0 +1,138 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestPoissonMeanRate(t *testing.T) {
+	a, err := newArrival(ArrivalSpec{Kind: "poisson", Rate: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	const n = 100000
+	var total float64
+	for i := 0; i < n; i++ {
+		total += a.next(rng)
+	}
+	// Mean gap should be ~1ms within a few percent at this sample size.
+	mean := total / n
+	if math.Abs(mean-0.001) > 0.0001 {
+		t.Fatalf("poisson mean gap = %gs, want ~1ms", mean)
+	}
+}
+
+func TestUniformIsConstant(t *testing.T) {
+	a, err := newArrival(ArrivalSpec{Kind: "uniform", Rate: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 10; i++ {
+		if g := a.next(rng); g != 0.002 {
+			t.Fatalf("uniform gap = %g, want 0.002", g)
+		}
+	}
+}
+
+func TestBurstyAlternatesPhases(t *testing.T) {
+	a, err := newArrival(ArrivalSpec{Kind: "bursty", Rate: 1000, Burst: 8, BurstLen: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(2, 2))
+	phaseMean := func() float64 {
+		var total float64
+		for i := 0; i < 1000; i++ {
+			total += a.next(rng)
+		}
+		return total / 1000
+	}
+	hot, cold := phaseMean(), phaseMean()
+	// Hot phase runs at 8000/s (mean gap 125µs), cold at 125/s (8ms).
+	if hot > cold/10 {
+		t.Fatalf("burst phases not distinct: hot mean %g, cold mean %g", hot, cold)
+	}
+}
+
+func TestArrivalDeterminism(t *testing.T) {
+	gaps := func() []float64 {
+		a, _ := newArrival(ArrivalSpec{Kind: "bursty", Rate: 100})
+		rng := rand.New(rand.NewPCG(9, 9))
+		out := make([]float64, 50)
+		for i := range out {
+			out[i] = a.next(rng)
+		}
+		return out
+	}
+	a, b := gaps(), gaps()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different schedules at %d", i)
+		}
+	}
+}
+
+func TestArrivalSpecValidation(t *testing.T) {
+	if _, err := newArrival(ArrivalSpec{Rate: 0}); err == nil {
+		t.Fatal("zero rate must be rejected")
+	}
+	if _, err := newArrival(ArrivalSpec{Kind: "warp", Rate: 1}); err == nil {
+		t.Fatal("unknown kind must be rejected")
+	}
+}
+
+func TestPayloadMixes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+
+	f, err := newPayload(PayloadSpec{Kind: "fixed", Size: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.size(rng) != 128 {
+		t.Fatal("fixed size wrong")
+	}
+
+	b, err := newPayload(PayloadSpec{Kind: "bimodal", Size: 64, Large: 4096, LargeFrac: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	larges := 0
+	for i := 0; i < 10000; i++ {
+		switch b.size(rng) {
+		case 64:
+		case 4096:
+			larges++
+		default:
+			t.Fatal("bimodal produced a third size")
+		}
+	}
+	if larges < 800 || larges > 1200 {
+		t.Fatalf("bimodal large fraction = %d/10000, want ~1000", larges)
+	}
+
+	p, err := newPayload(PayloadSpec{Kind: "pareto", Size: 256, Max: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var over4k int
+	for i := 0; i < 10000; i++ {
+		n := p.size(rng)
+		if n < 256 || n > 1<<20 {
+			t.Fatalf("pareto size %d outside [256, 1MiB]", n)
+		}
+		if n > 4096 {
+			over4k++
+		}
+	}
+	// Heavy tail: some but not most samples land far above the minimum.
+	if over4k == 0 || over4k > 5000 {
+		t.Fatalf("pareto tail looks wrong: %d/10000 above 4KiB", over4k)
+	}
+
+	if _, err := newPayload(PayloadSpec{Kind: "bimodal", Size: 1, LargeFrac: 2}); err == nil {
+		t.Fatal("large_frac > 1 must be rejected")
+	}
+}

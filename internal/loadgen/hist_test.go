@@ -1,0 +1,229 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// TestBucketRoundTrip pins the indexing scheme: every bucket's low edge
+// maps back to its own index, indexes are monotone, and adjacent buckets
+// tile the value range without gaps.
+func TestBucketRoundTrip(t *testing.T) {
+	for i := 0; i < histBuckets; i++ {
+		if got := bucketIndex(bucketLow(i)); got != i {
+			t.Fatalf("bucketIndex(bucketLow(%d)) = %d", i, got)
+		}
+		if mid := bucketMid(i); bucketIndex(mid) != i {
+			t.Fatalf("midpoint of bucket %d lands in bucket %d", i, bucketIndex(mid))
+		}
+	}
+	for i := 1; i < histBuckets; i++ {
+		if bucketLow(i) != bucketLow(i-1)+bucketWidth(i-1) {
+			t.Fatalf("gap between buckets %d and %d: %d vs %d+%d",
+				i-1, i, bucketLow(i), bucketLow(i-1), bucketWidth(i-1))
+		}
+	}
+}
+
+func bucketWidth(i int) int64 {
+	if i < histSubCount {
+		return 1
+	}
+	return int64(1) << uint(i/histSubCount-1)
+}
+
+// TestQuantileExactRecovery records known values and requires every
+// quantile to come back within the histogram's relative resolution
+// (2^-histSubBits) of the true value — the log-bucketing contract.
+func TestQuantileExactRecovery(t *testing.T) {
+	values := []time.Duration{
+		1 * time.Nanosecond,
+		63 * time.Nanosecond,
+		64 * time.Nanosecond,
+		777 * time.Nanosecond,
+		42 * time.Microsecond,
+		1500 * time.Microsecond,
+		33 * time.Millisecond,
+		2 * time.Second,
+		95 * time.Second,
+	}
+	relTol := 1.0 / float64(histSubCount)
+	for _, v := range values {
+		h := NewHist()
+		for i := 0; i < 100; i++ {
+			h.Record(v)
+		}
+		s := h.Snapshot()
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1} {
+			got := s.Quantile(q)
+			if errAbs := math.Abs(float64(got - v)); errAbs > relTol*float64(v)+1 {
+				t.Errorf("value %v: q%.3f = %v (error %.0fns exceeds resolution)", v, q, got, errAbs)
+			}
+		}
+		if s.Max != int64(v) {
+			t.Errorf("value %v: max = %d (max must be exact)", v, s.Max)
+		}
+		if s.Min != int64(v) {
+			t.Errorf("value %v: min = %d (min must be exact)", v, s.Min)
+		}
+	}
+}
+
+// TestQuantileMixedDistribution checks quantile ordering and median
+// accuracy on a two-mode distribution.
+func TestQuantileMixedDistribution(t *testing.T) {
+	h := NewHist()
+	for i := 0; i < 900; i++ {
+		h.Record(time.Millisecond)
+	}
+	for i := 0; i < 100; i++ {
+		h.Record(time.Second)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.5); p50 < 900*time.Microsecond || p50 > 1100*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~1ms", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 900*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~1s", p99)
+	}
+	if s.Quantile(0.5) > s.Quantile(0.9) || s.Quantile(0.9) > s.Quantile(0.99) {
+		t.Fatal("quantiles must be monotone")
+	}
+}
+
+// TestCoordinatedOmissionCorrection plays the canonical stalled-server
+// schedule: a closed-loop client means to issue one request every 1ms
+// for 2 seconds; the server answers in 50µs except for one 1s stall in
+// the middle. Uncorrected, the sample contains a single slow response
+// and the median stays rosy; corrected, the ~1000 requests that the
+// schedule intended during the stall surface as the queueing delay each
+// would have seen, and the upper quantiles tell the truth.
+func TestCoordinatedOmissionCorrection(t *testing.T) {
+	const (
+		interval = time.Millisecond
+		fast     = 50 * time.Microsecond
+		stall    = time.Second
+		total    = 2000 // intended schedule length
+	)
+	uncorrected, corrected := NewHist(), NewHist()
+	issued := 0
+	for issued < total {
+		d := fast
+		if issued == total/2 {
+			d = stall
+		}
+		uncorrected.Record(d)
+		corrected.RecordCorrected(d, interval)
+		// A closed-loop client skips the intervals the stall swallowed.
+		skipped := int(d / interval)
+		issued += 1 + skipped
+	}
+
+	u, c := uncorrected.Snapshot(), corrected.Snapshot()
+	if u.Quantile(0.9) > 100*time.Microsecond {
+		t.Fatalf("uncorrected p90 = %v: the omission should hide the stall", u.Quantile(0.9))
+	}
+	// The corrected histogram holds ~1000 backfilled samples uniformly
+	// spread over (0, 1s]: roughly half the total samples, so p75 falls
+	// inside the stall ramp and p99 near its top.
+	if p99 := c.Quantile(0.99); p99 < stall/2 {
+		t.Fatalf("corrected p99 = %v, want ≥ %v", p99, stall/2)
+	}
+	// Half the corrected samples are backfill spread over (0, 1s], so
+	// p75 sits mid-ramp — while the uncorrected p75 never left the fast
+	// path.
+	if p75u, p75c := u.Quantile(0.75), c.Quantile(0.75); p75c < 100*time.Millisecond || p75u > 100*time.Microsecond {
+		t.Fatalf("p75 corrected %v / uncorrected %v: correction did not surface the stall", p75c, p75u)
+	}
+	if c.Count <= u.Count {
+		t.Fatalf("correction added no samples: %d vs %d", c.Count, u.Count)
+	}
+	// The backfill reconstructs roughly the intended schedule size.
+	if c.Count < total*9/10 || c.Count > total*11/10 {
+		t.Fatalf("corrected count = %d, want ≈%d (the intended schedule)", c.Count, total)
+	}
+}
+
+// TestMergeAssociativity checks that merging snapshots is associative
+// and order-independent: (a⊕b)⊕c equals a⊕(b⊕c) equals c⊕(a⊕b) on
+// counts, sum, min, max and therefore on every quantile.
+func TestMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	mk := func(n int, scale time.Duration) HistSnapshot {
+		h := NewHist()
+		for i := 0; i < n; i++ {
+			h.Record(time.Duration(rng.Int64N(int64(scale))) + 1)
+		}
+		return h.Snapshot()
+	}
+	a, b, c := mk(500, time.Millisecond), mk(300, time.Second), mk(700, 10*time.Microsecond)
+
+	var left HistSnapshot // (a ⊕ b) ⊕ c
+	left.Merge(a)
+	left.Merge(b)
+	left.Merge(c)
+
+	var bc HistSnapshot // a ⊕ (b ⊕ c)
+	bc.Merge(b)
+	bc.Merge(c)
+	var right HistSnapshot
+	right.Merge(a)
+	right.Merge(bc)
+
+	var rev HistSnapshot // c ⊕ b ⊕ a
+	rev.Merge(c)
+	rev.Merge(b)
+	rev.Merge(a)
+
+	for _, other := range []HistSnapshot{right, rev} {
+		if left.Count != other.Count || left.Sum != other.Sum || left.Min != other.Min || left.Max != other.Max {
+			t.Fatalf("merge totals differ: %+v vs %+v",
+				HistSnapshot{Count: left.Count, Sum: left.Sum, Min: left.Min, Max: left.Max},
+				HistSnapshot{Count: other.Count, Sum: other.Sum, Min: other.Min, Max: other.Max})
+		}
+		for i := range left.Counts {
+			if left.Counts[i] != other.Counts[i] {
+				t.Fatalf("bucket %d differs after reordered merge", i)
+			}
+		}
+		for _, q := range []float64{0.5, 0.99, 0.999} {
+			if left.Quantile(q) != other.Quantile(q) {
+				t.Fatalf("q%.3f differs after reordered merge", q)
+			}
+		}
+	}
+}
+
+// TestConcurrentRecord hammers one histogram from several goroutines and
+// checks totals (run under -race in make check).
+func TestConcurrentRecord(t *testing.T) {
+	h := NewHist()
+	const workers, per = 8, 5000
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func(seed uint64) {
+			rng := rand.New(rand.NewPCG(seed, seed))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(rng.Int64N(int64(time.Second))))
+			}
+			done <- struct{}{}
+		}(uint64(w + 1))
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	if s := h.Snapshot(); s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+}
+
+func TestNilHistIsNoop(t *testing.T) {
+	var h *Hist
+	h.Record(time.Second)
+	h.RecordCorrected(time.Second, time.Millisecond)
+	if s := h.Snapshot(); s.Count != 0 || s.Quantile(0.99) != 0 {
+		t.Fatalf("nil hist snapshot = %+v", s)
+	}
+}

@@ -1,0 +1,360 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"maqs"
+	"maqs/internal/cdr"
+	"maqs/internal/ior"
+	"maqs/internal/netsim"
+	"maqs/internal/obs"
+	"maqs/internal/orb"
+	"maqs/internal/qos"
+	"maqs/internal/resilience"
+)
+
+// Config parameterises a load run.
+type Config struct {
+	// Target is the object every scenario invokes.
+	Target *ior.IOR
+	// Scenarios are the QoS classes of the run (at least one).
+	Scenarios []Scenario
+	// Seed makes the run repeatable: arrival gaps and payload sizes are
+	// drawn from per-scenario PCG streams derived from it.
+	Seed uint64
+	// Transport supplies dialing (nil: TCP).
+	Transport netsim.Transport
+	// ConnsPerEndpoint stripes each class's connections (default 4).
+	ConnsPerEndpoint int
+	// Resilience, when set, installs retry/backoff/breaker on every
+	// class's ORB; the per-class retry counts surface in the report.
+	Resilience *resilience.Policy
+	// Summary, when non-nil, receives a periodic one-line-per-class
+	// progress summary every SummaryEvery (default 2s).
+	Summary      io.Writer
+	SummaryEvery time.Duration
+}
+
+// job is one intended request: its schedule offset from the run start
+// and its payload size.
+type job struct {
+	off  time.Duration
+	size int32
+}
+
+// classRun is the runtime state of one scenario.
+type classRun struct {
+	scn    Scenario
+	sys    *maqs.System
+	bundle *obs.Observability
+	stubs  []*qos.Stub
+	jobs   chan job
+
+	corrected *Hist // completion − intended schedule time (CO-correct)
+	service   *Hist // completion − actual send time
+
+	scheduled atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+
+	errMu    sync.Mutex
+	errKinds map[string]uint64
+
+	// lastCompleted/lastAt let the reporter compute windowed throughput.
+	lastCompleted uint64
+	lastAt        time.Time
+}
+
+// payloadBlob backs every request payload: a mildly compressible
+// repeating pattern (so Compression-class traffic behaves like text, not
+// like random noise) sliced to each job's size.
+var payloadBlob = func() []byte {
+	b := make([]byte, 1<<20)
+	const pattern = "the quick brown fox jumps over the lazy qos contract 0123456789 "
+	for i := range b {
+		b[i] = pattern[i%len(pattern)]
+	}
+	return b
+}()
+
+// Runner drives one open-loop run: every scenario schedules requests at
+// its intended arrival times regardless of response progress, and
+// latency is measured from the intended timestamp — so queueing delay
+// under overload is measured, not silently omitted (docs/LOADGEN.md).
+type Runner struct {
+	cfg     Config
+	classes []*classRun
+
+	start   time.Time
+	started atomic.Bool
+}
+
+// NewRunner validates the config and builds the per-class systems: one
+// maqs.System (own ORB, own connection stripe, own metrics registry) per
+// QoS class, so retry/degrade/breaker telemetry attributes cleanly.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.Target == nil {
+		return nil, fmt.Errorf("loadgen: config without target reference")
+	}
+	if len(cfg.Scenarios) == 0 {
+		return nil, fmt.Errorf("loadgen: config without scenarios")
+	}
+	if cfg.ConnsPerEndpoint <= 0 {
+		cfg.ConnsPerEndpoint = 4
+	}
+	if cfg.SummaryEvery <= 0 {
+		cfg.SummaryEvery = 2 * time.Second
+	}
+	r := &Runner{cfg: cfg}
+	seen := map[string]bool{}
+	for _, raw := range cfg.Scenarios {
+		scn := raw.withDefaults()
+		if err := scn.validate(); err != nil {
+			return nil, err
+		}
+		if seen[scn.Class] {
+			return nil, fmt.Errorf("loadgen: duplicate class %q", scn.Class)
+		}
+		seen[scn.Class] = true
+
+		bundle := obs.NewWithConfig(obs.Config{SpanCapacity: 64, FlightCapacity: 256})
+		sys, err := maqs.NewSystem(maqs.Options{
+			Transport:        cfg.Transport,
+			ConnsPerEndpoint: cfg.ConnsPerEndpoint,
+			Observability:    bundle,
+			Resilience:       cfg.Resilience,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: class %q: %w", scn.Class, err)
+		}
+		c := &classRun{
+			scn:       scn,
+			sys:       sys,
+			bundle:    bundle,
+			jobs:      make(chan job, 1<<15),
+			corrected: NewHist(),
+			service:   NewHist(),
+			errKinds:  map[string]uint64{},
+		}
+		r.classes = append(r.classes, c)
+	}
+	return r, nil
+}
+
+// Close shuts the per-class systems down.
+func (r *Runner) Close() {
+	for _, c := range r.classes {
+		c.sys.Shutdown()
+	}
+}
+
+// Run executes the full schedule (or until ctx is cancelled) and returns
+// the report. It may be called once.
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	for _, c := range r.classes {
+		if err := c.setup(ctx, r.cfg.Target); err != nil {
+			return nil, err
+		}
+	}
+
+	r.start = time.Now()
+	r.started.Store(true)
+	for _, c := range r.classes {
+		c.lastAt = r.start
+	}
+
+	var wg sync.WaitGroup
+	for i, c := range r.classes {
+		// Independent deterministic streams per class: schedule and
+		// payload draws never interleave across classes.
+		rng := rand.New(rand.NewPCG(r.cfg.Seed, uint64(i)+1))
+		wg.Add(1)
+		go func(c *classRun) {
+			defer wg.Done()
+			c.schedule(ctx, rng, r.start)
+		}(c)
+		for w := 0; w < c.scn.Clients; w++ {
+			wg.Add(1)
+			go func(c *classRun, w int) {
+				defer wg.Done()
+				c.work(ctx, r.start, w)
+			}(c, w)
+		}
+	}
+
+	stopSummary := make(chan struct{})
+	var summaryDone sync.WaitGroup
+	if r.cfg.Summary != nil {
+		summaryDone.Add(1)
+		go func() {
+			defer summaryDone.Done()
+			t := time.NewTicker(r.cfg.SummaryEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					r.printSummary()
+				case <-stopSummary:
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stopSummary)
+	summaryDone.Wait()
+
+	rep := r.buildReport(time.Since(r.start))
+	if err := ctx.Err(); err != nil && !errors.Is(err, context.Canceled) {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// setup negotiates the class's characteristic for every identity and
+// warms the connection stripe before the clock starts.
+func (c *classRun) setup(ctx context.Context, target *ior.IOR) error {
+	if mod := maqs.StandardModules()[c.scn.Characteristic]; mod != "" {
+		if err := c.sys.LoadModule(mod, nil); err != nil {
+			return fmt.Errorf("loadgen: class %q: loading module %s: %w", c.scn.Class, mod, err)
+		}
+	}
+	c.stubs = make([]*qos.Stub, c.scn.Clients)
+	for i := range c.stubs {
+		stub := c.sys.Stub(target)
+		stub.DeclareIdempotent(c.scn.Operation)
+		c.stubs[i] = stub
+	}
+
+	if c.scn.Characteristic != "" {
+		proposal := &qos.Proposal{Characteristic: c.scn.Characteristic}
+		for name, v := range c.scn.Params {
+			proposal.Params = append(proposal.Params, qos.ParamProposal{Name: name, Desired: qos.Number(v)})
+		}
+		// Bounded-parallel negotiation: thousands of identities would
+		// otherwise serialise on round trips.
+		sem := make(chan struct{}, 32)
+		errCh := make(chan error, len(c.stubs))
+		var wg sync.WaitGroup
+		for _, stub := range c.stubs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(stub *qos.Stub) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if _, err := stub.Negotiate(ctx, proposal); err != nil {
+					errCh <- err
+				}
+			}(stub)
+		}
+		wg.Wait()
+		close(errCh)
+		if err := <-errCh; err != nil {
+			return fmt.Errorf("loadgen: class %q: negotiating %s: %w", c.scn.Class, c.scn.Characteristic, err)
+		}
+	}
+
+	// Warm the stripe and the server path so the measured schedule does
+	// not start with a dial burst.
+	warm := c.scn.Clients
+	if warm > 8 {
+		warm = 8
+	}
+	for i := 0; i < warm; i++ {
+		if _, err := c.stubs[i].Call(ctx, c.scn.Operation, encodePayload(c.sys.ORB.Order(), 1)); err != nil {
+			return fmt.Errorf("loadgen: class %q: warmup call: %w", c.scn.Class, err)
+		}
+	}
+	return nil
+}
+
+// schedAhead is how far ahead of the wall clock the scheduler stays:
+// jobs are enqueued up to this early, and the workers do the precise
+// pacing. It bounds the job channel's memory without ever distorting the
+// intended timestamps.
+const schedAhead = 50 * time.Millisecond
+
+// schedule generates the intended arrival schedule into the job channel.
+// Intended offsets accumulate from the arrival process alone — a slow
+// server cannot push them back, which is the open-loop property.
+func (c *classRun) schedule(ctx context.Context, rng *rand.Rand, start time.Time) {
+	defer close(c.jobs)
+	arr, _ := newArrival(c.scn.Arrival)
+	pay, _ := newPayload(c.scn.Payload)
+	var off time.Duration
+	for i := 0; i < c.scn.Requests; i++ {
+		off += time.Duration(arr.next(rng) * float64(time.Second))
+		size := pay.size(rng)
+		if size > len(payloadBlob) {
+			size = len(payloadBlob)
+		}
+		if d := off - time.Since(start) - schedAhead; d > 0 {
+			time.Sleep(d)
+		}
+		select {
+		case c.jobs <- job{off: off, size: int32(size)}:
+			c.scheduled.Add(1)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// work is one client identity: it takes the next intended request, waits
+// for its schedule time, sends, and records both the CO-correct latency
+// (from the intended time) and the service latency (from the send).
+func (c *classRun) work(ctx context.Context, start time.Time, id int) {
+	stub := c.stubs[id]
+	order := c.sys.ORB.Order()
+	for jb := range c.jobs {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		intended := start.Add(jb.off)
+		if d := time.Until(intended); d > 0 {
+			time.Sleep(d)
+		}
+		sent := time.Now()
+		_, err := stub.Call(ctx, c.scn.Operation, encodePayload(order, int(jb.size)))
+		now := time.Now()
+		c.service.Record(now.Sub(sent))
+		c.corrected.Record(now.Sub(intended))
+		c.completed.Add(1)
+		if err != nil {
+			c.failed.Add(1)
+			c.recordError(err)
+		}
+	}
+}
+
+func (c *classRun) recordError(err error) {
+	kind := "error"
+	var exc *orb.SystemException
+	switch {
+	case errors.As(err, &exc):
+		kind = exc.Name
+	case errors.Is(err, context.DeadlineExceeded):
+		kind = "deadline"
+	case errors.Is(err, context.Canceled):
+		kind = "canceled"
+	}
+	c.errMu.Lock()
+	c.errKinds[kind]++
+	c.errMu.Unlock()
+}
+
+func encodePayload(order cdr.ByteOrder, size int) []byte {
+	e := cdr.NewEncoder(order)
+	e.WriteOctets(payloadBlob[:size])
+	return e.Bytes()
+}

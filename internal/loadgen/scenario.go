@@ -1,0 +1,145 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Scenario declares one QoS class of an open-loop workload: its arrival
+// process, payload mix, population of client identities, and (optionally)
+// the QoS characteristic every identity negotiates before traffic
+// starts. The runner drives all scenarios of a run concurrently and
+// reports each as its own class.
+type Scenario struct {
+	// Class names the QoS class in reports and summaries ("interactive",
+	// "bulk", "gold", ...).
+	Class string `json:"class"`
+	// Operation invoked on the target (default "echo"; the payload rides
+	// as the octet-sequence argument).
+	Operation string `json:"operation,omitempty"`
+	// Requests is the intended schedule length (> 0).
+	Requests int `json:"requests"`
+	// Clients is the number of concurrent client identities — each is
+	// its own stub (and, when Characteristic is set, its own negotiated
+	// binding). Default 64.
+	Clients int `json:"clients,omitempty"`
+	// Arrival is the intended arrival process.
+	Arrival ArrivalSpec `json:"arrival"`
+	// Payload is the request size mix (default: fixed 0 bytes).
+	Payload PayloadSpec `json:"payload,omitempty"`
+	// Characteristic, when set, is negotiated per identity before the
+	// schedule starts ("Compression", "Encryption", ...), making the
+	// class's traffic travel QoS-tagged — the server's per-class
+	// dispatch metrics key off it.
+	Characteristic string `json:"characteristic,omitempty"`
+	// Params are numeric contract parameters for the negotiation
+	// (e.g. {"level": 6} for Compression).
+	Params map[string]float64 `json:"params,omitempty"`
+}
+
+func (s Scenario) validate() error {
+	if s.Class == "" {
+		return fmt.Errorf("loadgen: scenario without class name")
+	}
+	if s.Requests <= 0 {
+		return fmt.Errorf("loadgen: scenario %q: requests must be positive", s.Class)
+	}
+	if _, err := newArrival(s.Arrival); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Class, err)
+	}
+	if _, err := newPayload(s.Payload); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Class, err)
+	}
+	return nil
+}
+
+// withDefaults fills the optional fields.
+func (s Scenario) withDefaults() Scenario {
+	if s.Operation == "" {
+		s.Operation = "echo"
+	}
+	if s.Clients <= 0 {
+		s.Clients = 64
+	}
+	return s
+}
+
+// LoadScenarios reads a scenario set from a JSON file: either a bare
+// array of scenarios or an object {"scenarios": [...]}.
+func LoadScenarios(path string) ([]Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var wrapped struct {
+		Scenarios []Scenario `json:"scenarios"`
+	}
+	if err := json.Unmarshal(data, &wrapped); err == nil && len(wrapped.Scenarios) > 0 {
+		return wrapped.Scenarios, nil
+	}
+	var list []Scenario
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, fmt.Errorf("loadgen: parsing %s: %w", path, err)
+	}
+	return list, nil
+}
+
+// Preset returns a named built-in scenario set, or nil for unknown names.
+//
+//   - "smoke": two classes, ~1.2k requests, finishes in about a second —
+//     the make loadgen-smoke gate.
+//   - "default": the trajectory run — three classes (interactive Poisson,
+//     bulk bursty heavy-tailed, gold with negotiated Compression),
+//     ≥100k requests total at a combined ~6.8k req/s.
+func Preset(name string) []Scenario {
+	switch name {
+	case "smoke":
+		return []Scenario{
+			{
+				Class:    "interactive",
+				Requests: 800,
+				Clients:  64,
+				Arrival:  ArrivalSpec{Kind: "poisson", Rate: 1200},
+				Payload:  PayloadSpec{Kind: "bimodal", Size: 64, Large: 1024, LargeFrac: 0.05},
+			},
+			{
+				Class:          "gold",
+				Requests:       400,
+				Clients:        32,
+				Arrival:        ArrivalSpec{Kind: "uniform", Rate: 600},
+				Payload:        PayloadSpec{Kind: "fixed", Size: 512},
+				Characteristic: "Compression",
+				Params:         map[string]float64{"level": 6},
+			},
+		}
+	case "default":
+		return []Scenario{
+			{
+				Class:    "interactive",
+				Requests: 60000,
+				Clients:  1024,
+				Arrival:  ArrivalSpec{Kind: "poisson", Rate: 4000},
+				Payload:  PayloadSpec{Kind: "bimodal", Size: 64, Large: 1024, LargeFrac: 0.05},
+			},
+			{
+				Class:    "bulk",
+				Requests: 25000,
+				Clients:  512,
+				Arrival:  ArrivalSpec{Kind: "bursty", Rate: 1600, Burst: 6, BurstLen: 256},
+				Payload:  PayloadSpec{Kind: "pareto", Size: 512, Max: 64 << 10},
+			},
+			{
+				Class:          "gold",
+				Requests:       20000,
+				Clients:        256,
+				Arrival:        ArrivalSpec{Kind: "poisson", Rate: 1200},
+				Payload:        PayloadSpec{Kind: "fixed", Size: 512},
+				Characteristic: "Compression",
+				Params:         map[string]float64{"level": 6},
+			},
+		}
+	default:
+		return nil
+	}
+}

@@ -93,11 +93,25 @@ func (o *Observability) Handler() http.Handler {
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
+			// Dynamically mounted debug pages (SetDebugPage) serve any
+			// path the built-ins don't own — e.g. /loadgen.
+			if o != nil {
+				if fn, ok := o.pages.Load(r.URL.Path); ok {
+					writeJSON(w, fn.(func() any)())
+					return
+				}
+			}
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain")
 		_, _ = w.Write([]byte("maqs observability\n\n/metrics\n/metrics?format=json\n/trace\n/trace?trace=<id>\n/trace/ops\n/flight\n/flight?dump=<id>\n/health\n/ready\n\n/trace and /flight accept ?limit=N\n"))
+		if o != nil {
+			o.pages.Range(func(k, _ any) bool {
+				_, _ = w.Write([]byte(k.(string) + "\n"))
+				return true
+			})
+		}
 	})
 	return mux
 }

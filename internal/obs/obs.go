@@ -1,6 +1,9 @@
 package obs
 
-import "encoding/json"
+import (
+	"encoding/json"
+	"sync"
+)
 
 // Observability bundles the cooperating pieces — metrics registry, span
 // collector, tracer and flight recorder — that an ORB (or a whole
@@ -19,6 +22,27 @@ type Observability struct {
 	// health carries liveness/readiness state; created lazily so
 	// literal-constructed bundles still work (see health.go).
 	health lazyHealth
+
+	// pages holds dynamically mounted debug endpoints (SetDebugPage);
+	// the Handler consults it per request, so pages registered after the
+	// handler is built still serve.
+	pages sync.Map // string -> func() any
+}
+
+// SetDebugPage mounts fn's JSON-rendered return value at path on the
+// debug Handler ("/loadgen", "/poolstats", ...). The callback runs per
+// request; registering a path again replaces the page, a nil fn removes
+// it. Paths already owned by the handler (/metrics, /trace, ...) are
+// shadowed by the built-ins. No-op on a nil bundle.
+func (o *Observability) SetDebugPage(path string, fn func() any) {
+	if o == nil || path == "" || path == "/" {
+		return
+	}
+	if fn == nil {
+		o.pages.Delete(path)
+		return
+	}
+	o.pages.Store(path, fn)
 }
 
 // Config sizes an Observability bundle. The zero value means defaults
@@ -47,15 +71,18 @@ func NewWithCapacity(spanCapacity int) *Observability {
 	return NewWithConfig(Config{SpanCapacity: spanCapacity})
 }
 
-// NewWithConfig constructs a bundle sized by cfg.
+// NewWithConfig constructs a bundle sized by cfg. Go runtime telemetry
+// (RegisterRuntimeMetrics) is registered on the bundle's registry.
 func NewWithConfig(cfg Config) *Observability {
 	c := NewCollector(cfg.SpanCapacity)
-	return &Observability{
+	o := &Observability{
 		Registry:  NewRegistry(),
 		Collector: c,
 		Tracer:    NewTracer(c),
 		Flight:    NewFlightRecorder(cfg.FlightCapacity, cfg.FlightSnapshotDepth, cfg.FlightMaxDumps),
 	}
+	RegisterRuntimeMetrics(o.Registry)
+	return o
 }
 
 // BundleSnapshot is the full JSON export: metrics, per-operation span

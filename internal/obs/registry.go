@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -135,8 +136,12 @@ type HistogramSnapshot struct {
 
 // Snapshot captures the registry's state for export.
 type Snapshot struct {
-	Counters   map[string]uint64   `json:"counters"`
-	Gauges     map[string]int64    `json:"gauges"`
+	Counters map[string]uint64 `json:"counters"`
+	Gauges   map[string]int64  `json:"gauges"`
+	// Floats are callback-backed floating-point series (FloatFunc) —
+	// cumulative seconds and similar fractional totals that fit neither
+	// integer family.
+	Floats     map[string]float64  `json:"floats,omitempty"`
 	Histograms []HistogramSnapshot `json:"histograms"`
 }
 
@@ -150,6 +155,7 @@ type Registry struct {
 	histograms   sync.Map // string -> *Histogram
 	counterFuncs sync.Map // string -> func() uint64
 	gaugeFuncs   sync.Map // string -> func() int64
+	floatFuncs   sync.Map // string -> func() float64
 }
 
 // NewRegistry constructs an empty registry.
@@ -223,6 +229,17 @@ func (r *Registry) GaugeFunc(name string, fn func() int64) {
 	r.gaugeFuncs.Store(name, fn)
 }
 
+// FloatFunc registers a callback-backed floating-point series, evaluated
+// at snapshot time like CounterFunc. It carries fractional cumulative
+// values — GC pause seconds, CPU seconds — that would truncate in the
+// integer counter family.
+func (r *Registry) FloatFunc(name string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.floatFuncs.Store(name, fn)
+}
+
 // Snapshot captures all instruments.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{Counters: map[string]uint64{}, Gauges: map[string]int64{}}
@@ -243,6 +260,13 @@ func (r *Registry) Snapshot() Snapshot {
 	})
 	r.gaugeFuncs.Range(func(k, v any) bool {
 		s.Gauges[k.(string)] = v.(func() int64)()
+		return true
+	})
+	r.floatFuncs.Range(func(k, v any) bool {
+		if s.Floats == nil {
+			s.Floats = map[string]float64{}
+		}
+		s.Floats[k.(string)] = v.(func() float64)()
 		return true
 	})
 	r.histograms.Range(func(_, v any) bool {
@@ -295,21 +319,54 @@ func (s Snapshot) WriteText(w io.Writer) error {
 			return err
 		}
 	}
+	names = names[:0]
+	for n := range s.Floats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "%s %g\n", n, s.Floats[n]); err != nil {
+			return err
+		}
+	}
 	for _, h := range s.Histograms {
+		// Histogram names may carry labels ("name{op=\"echo\"}"): the
+		// suffix and the le label splice inside the existing brace set so
+		// the exposition stays well-formed.
+		base, labels := splitLabels(h.Name)
 		for _, b := range h.Buckets {
 			le := "+Inf"
 			if b.UpperBound != infBound {
 				le = fmt.Sprintf("%g", b.UpperBound)
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.Name, le, b.Count); err != nil {
+			all := fmt.Sprintf("le=%q", le)
+			if labels != "" {
+				all = labels + "," + all
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, all, b.Count); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", h.Name, h.Sum, h.Name, h.Count); err != nil {
+		sumName, countName := base+"_sum", base+"_count"
+		if labels != "" {
+			sumName += "{" + labels + "}"
+			countName += "{" + labels + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s %g\n%s %d\n", sumName, h.Sum, countName, h.Count); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// splitLabels separates a metric name from its inline label set:
+// `name{op="echo"}` → (`name`, `op="echo"`); names without labels come
+// back unchanged with empty labels.
+func splitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
 }
 
 // WriteJSON renders the snapshot as indented JSON.

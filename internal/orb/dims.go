@@ -1,0 +1,59 @@
+package orb
+
+import (
+	"fmt"
+
+	"maqs/internal/cdr"
+	"maqs/internal/giop"
+	"maqs/internal/obs"
+)
+
+// dispatchDims is one (operation, QoS class) cell of the server's
+// dispatch telemetry: its own request/error counters, latency histogram
+// and in-flight gauge, all pre-resolved so the request path does atomic
+// updates only.
+type dispatchDims struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
+	inflight *obs.Gauge
+}
+
+// dims returns the instrument cell for (op, class), creating and caching
+// it on first sight. The cardinality is bounded by the servants' operation
+// sets times the negotiated characteristics, both small by construction.
+func (ob *orbObs) dims(op, class string) *dispatchDims {
+	key := op + "\x00" + class
+	if v, ok := ob.dimCells.Load(key); ok {
+		return v.(*dispatchDims)
+	}
+	labels := fmt.Sprintf("{op=%q,class=%q}", op, class)
+	d := &dispatchDims{
+		requests: ob.bundle.Registry.Counter("maqs_server_requests_total" + labels),
+		errors:   ob.bundle.Registry.Counter("maqs_server_errors_total" + labels),
+		latency:  ob.bundle.Registry.Histogram("maqs_server_dispatch_seconds"+labels, nil),
+		inflight: ob.bundle.Registry.Gauge("maqs_server_inflight" + labels),
+	}
+	v, _ := ob.dimCells.LoadOrStore(key, d)
+	return v.(*dispatchDims)
+}
+
+// qosClass names the request's QoS class for telemetry: the negotiated
+// characteristic carried in the SCQoS service context, or "none" for
+// plain traffic. The payload is decoded locally (characteristic is the
+// encapsulation's first string) because orb cannot import qos.
+func qosClass(ctxs giop.ServiceContextList) string {
+	data, ok := ctxs.Get(giop.SCQoS)
+	if !ok {
+		return "none"
+	}
+	d, err := cdr.NewDecoder(data, cdr.BigEndian).BeginEncapsulation()
+	if err != nil {
+		return "invalid"
+	}
+	characteristic, err := d.ReadString()
+	if err != nil || characteristic == "" {
+		return "invalid"
+	}
+	return characteristic
+}

@@ -99,6 +99,11 @@ type orbObs struct {
 	requests *obs.Counter
 	errors   *obs.Counter
 	latency  *obs.Histogram
+	// inflight is the unlabeled total of requests inside dispatch.
+	inflight *obs.Gauge
+	// dimCells caches the per-(operation, QoS class) instrument cells
+	// (see dims.go): string "op\x00class" -> *dispatchDims.
+	dimCells sync.Map
 }
 
 // CommandHandler interprets command-tagged requests (the paper's dual use
@@ -139,6 +144,7 @@ func (o *ORB) SetObservability(b *obs.Observability) {
 		requests: b.Registry.Counter("maqs_server_requests_total"),
 		errors:   b.Registry.Counter("maqs_server_errors_total"),
 		latency:  b.Registry.Histogram("maqs_server_dispatch_seconds", nil),
+		inflight: b.Registry.Gauge("maqs_server_inflight"),
 	})
 	registerPoolMetrics(b.Registry)
 }

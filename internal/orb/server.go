@@ -232,8 +232,15 @@ func (o *ORB) handleRequest(conn net.Conn, writeMu *sync.Mutex, order cdr.ByteOr
 
 	ob := o.obsState.Load()
 	var start time.Time
+	var dd *dispatchDims
 	if ob != nil {
 		start = time.Now()
+		// The per-(operation, QoS class) cell widens every dispatch
+		// instrument: requests, errors, latency and in-flight depth all
+		// exist labeled alongside the unlabeled aggregates.
+		dd = ob.dims(h.Operation, qosClass(h.Contexts))
+		ob.inflight.Add(1)
+		dd.inflight.Add(1)
 		var parent obs.SpanContext
 		if tp, ok := h.Contexts.Get(giop.SCTrace); ok {
 			parent, _ = obs.ParseTraceparent(tp)
@@ -246,10 +253,16 @@ func (o *ORB) handleRequest(conn net.Conn, writeMu *sync.Mutex, order cdr.ByteOr
 	status, body := o.dispatch(req)
 
 	if ob != nil {
+		elapsed := time.Since(start)
+		ob.inflight.Add(-1)
+		dd.inflight.Add(-1)
 		ob.requests.Inc()
-		ob.latency.Observe(time.Since(start))
+		dd.requests.Inc()
+		ob.latency.Observe(elapsed)
+		dd.latency.Observe(elapsed)
 		if status != giop.ReplyNoException && status != giop.ReplyLocationForward {
 			ob.errors.Inc()
+			dd.errors.Inc()
 			req.Span.SetAttr("reply_status", status.String())
 		}
 		req.Span.End()

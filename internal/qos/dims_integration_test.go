@@ -1,0 +1,100 @@
+package qos
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"maqs/internal/obs"
+)
+
+// TestDispatchDimensionedMetrics verifies the widened server telemetry:
+// dispatch counters, latency histograms and in-flight gauges exist per
+// (operation, QoS class) alongside the unlabeled aggregates, and the
+// client RTT histogram is labeled per class.
+func TestDispatchDimensionedMetrics(t *testing.T) {
+	w, bundle := newObservedWorld(t, 4)
+	w.stub.AddObserver(MetricsObserver(bundle.Registry))
+
+	// Unbound traffic first: lands in class "none".
+	w.inc(t)
+	if _, err := w.stub.Negotiate(context.Background(), &Proposal{Characteristic: "Tracing"}); err != nil {
+		t.Fatal(err)
+	}
+	// Bound traffic: travels with the SCQoS tag, class "Tracing".
+	w.inc(t)
+	w.inc(t)
+
+	snap := bundle.Registry.Snapshot()
+	for name, min := range map[string]uint64{
+		`maqs_server_requests_total{op="inc",class="none"}`:    1,
+		`maqs_server_requests_total{op="inc",class="Tracing"}`: 2,
+		`maqs_server_requests_total`:                           3,
+	} {
+		if got := snap.Counters[name]; got < min {
+			t.Fatalf("%s = %d, want >= %d (all: %v)", name, got, min, snap.Counters)
+		}
+	}
+
+	// In-flight gauges exist and return to zero when dispatch drains.
+	for _, name := range []string{
+		"maqs_server_inflight",
+		`maqs_server_inflight{op="inc",class="Tracing"}`,
+	} {
+		if got, ok := snap.Gauges[name]; !ok || got != 0 {
+			t.Fatalf("%s = %d (present %v), want 0 after drain", name, got, ok)
+		}
+	}
+
+	// Labeled latency histograms: server dispatch per (op, class) and
+	// client RTT per class.
+	wantHists := map[string]uint64{
+		`maqs_server_dispatch_seconds{op="inc",class="Tracing"}`: 2,
+		`maqs_server_dispatch_seconds{op="inc",class="none"}`:    1,
+		`maqs_client_rtt_seconds{class="Tracing"}`:               2,
+		`maqs_client_rtt_seconds{class="none"}`:                  1,
+		`maqs_server_dispatch_seconds`:                           3,
+	}
+	found := map[string]*obs.HistogramSnapshot{}
+	for i := range snap.Histograms {
+		found[snap.Histograms[i].Name] = &snap.Histograms[i]
+	}
+	for name, min := range wantHists {
+		h, ok := found[name]
+		if !ok {
+			t.Fatalf("histogram %s missing (have %v)", name, histNames(snap))
+		}
+		if h.Count < min {
+			t.Fatalf("%s count = %d, want >= %d", name, h.Count, min)
+		}
+	}
+
+	// The text exposition splices the le label inside the existing label
+	// set, keeping the line well-formed.
+	var sb strings.Builder
+	if err := snap.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`maqs_server_dispatch_seconds_bucket{op="inc",class="Tracing",le="`,
+		`maqs_server_dispatch_seconds_sum{op="inc",class="Tracing"}`,
+		`maqs_server_dispatch_seconds_count{op="inc",class="Tracing"}`,
+		`maqs_client_rtt_seconds_bucket{class="none",le="`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text exposition missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, `}_bucket`) || strings.Contains(text, `}_sum`) || strings.Contains(text, `}_count`) {
+		t.Fatalf("text exposition has malformed labeled lines:\n%s", text)
+	}
+}
+
+func histNames(s obs.Snapshot) []string {
+	out := make([]string, len(s.Histograms))
+	for i := range s.Histograms {
+		out[i] = s.Histograms[i].Name
+	}
+	return out
+}

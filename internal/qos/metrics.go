@@ -1,6 +1,11 @@
 package qos
 
-import "maqs/internal/obs"
+import (
+	"fmt"
+	"sync"
+
+	"maqs/internal/obs"
+)
 
 // Canonical client-side metric names. MetricsObserver and
 // Monitor.Publish (with its default prefix) bind to the same
@@ -26,6 +31,10 @@ func MetricsObserver(reg *obs.Registry) Observer {
 	reqBytes := reg.Counter(MetricClientRequestBytes)
 	repBytes := reg.Counter(MetricClientReplyBytes)
 	rtt := reg.Histogram(MetricClientRTT, nil)
+	// Per-class RTT histograms, created on first observation of each
+	// characteristic ("none" for unbound calls). Cardinality is the set
+	// of negotiated characteristics — a handful by construction.
+	var classRTT sync.Map // string -> *obs.Histogram
 	return func(o Observation) {
 		requests.Inc()
 		if o.Err != nil {
@@ -34,5 +43,15 @@ func MetricsObserver(reg *obs.Registry) Observer {
 		reqBytes.Add(uint64(o.ReqBytes))
 		repBytes.Add(uint64(o.RepBytes))
 		rtt.Observe(o.RTT)
+		class := o.Characteristic
+		if class == "" {
+			class = "none"
+		}
+		h, ok := classRTT.Load(class)
+		if !ok {
+			h, _ = classRTT.LoadOrStore(class,
+				reg.Histogram(fmt.Sprintf("%s{class=%q}", MetricClientRTT, class), nil))
+		}
+		h.(*obs.Histogram).Observe(o.RTT)
 	}
 }

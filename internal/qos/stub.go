@@ -16,6 +16,9 @@ import (
 type Observation struct {
 	// Operation invoked.
 	Operation string
+	// Characteristic of the binding the call travelled under ("" for
+	// unbound traffic) — the client-side QoS class label.
+	Characteristic string
 	// RTT is the round-trip time observed at the stub.
 	RTT time.Duration
 	// Err is the invocation's error, including remote exceptions.
@@ -211,6 +214,9 @@ func (s *Stub) Invoke(ctx context.Context, op string, args []byte, oneway bool) 
 			RTT:       time.Since(start),
 			ReqBytes:  len(args),
 			At:        time.Now(),
+		}
+		if binding != nil {
+			o.Characteristic = binding.Characteristic
 		}
 		if err != nil {
 			o.Err = err
