@@ -7,7 +7,12 @@ BENCH_OUT ?= BENCH_5.json
 
 # Trajectory file produced by `make loadgen` (the open-loop load harness's
 # full default run): see docs/LOADGEN.md.
-LOADGEN_OUT ?= BENCH_6.json
+LOADGEN_OUT ?= BENCH_7.json
+
+# Final live-status snapshot written by the loadgen smoke run (the /loadgen
+# debug view, including the self-server's admission counters); CI archives
+# it next to the BENCH_*.json trajectory.
+LOADGEN_STATUS ?= loadgen-status.json
 
 # Coverage floor (percent) enforced by `make cover` on the observability
 # package: the flight recorder and debug endpoints are the forensics layer,
@@ -51,15 +56,20 @@ bench-smoke:
 
 # loadgen runs the full open-loop trajectory workload (>=100k requests
 # across three QoS classes) against an in-process server and records the
-# coordinated-omission-correct percentiles (see docs/LOADGEN.md).
+# coordinated-omission-correct percentiles (see docs/LOADGEN.md). The
+# workload deliberately exceeds one machine's capacity, so the server
+# runs with a dispatch deadline: requests that outwait 250ms in the
+# dispatch queue are shed with TRANSIENT (docs/ADMISSION.md), keeping
+# the served percentiles flat and reporting the excess as shed counts.
 loadgen:
-	$(GO) run ./cmd/maqs-loadgen -self -scenario default -seed 1 -o $(LOADGEN_OUT)
+	$(GO) run ./cmd/maqs-loadgen -self -scenario default -seed 1 -shed-deadline 250ms -o $(LOADGEN_OUT)
 
 # loadgen-smoke drives the ~1.2k-request smoke preset over loopback TCP:
 # a fast end-to-end proof that the harness schedules, negotiates and
-# reports. Fails on any request error.
+# reports. Fails on any request error, and leaves the final live-status
+# view in $(LOADGEN_STATUS) for CI to archive.
 loadgen-smoke:
-	@out=$$($(GO) run ./cmd/maqs-loadgen -self -scenario smoke -seed 1 -report 10s) || { echo "$$out"; exit 1; }; \
+	@out=$$($(GO) run ./cmd/maqs-loadgen -self -scenario smoke -seed 1 -report 10s -status-snapshot $(LOADGEN_STATUS)) || { echo "$$out"; exit 1; }; \
 	echo "$$out"; \
 	echo "$$out" | grep -q ', errors 0' || { echo "loadgen-smoke: request errors reported"; exit 1; }
 
@@ -73,7 +83,8 @@ cover:
 	awk "BEGIN { if ($$pct < $(COVER_FLOOR)) { printf \"cover: %.1f%% below floor $(COVER_FLOOR)%%\n\", $$pct; exit 1 } }"
 
 # chaos runs the fault-injection stress tests race-enabled: the seeded
-# FaultPlan chaos run plus the targeted retry/breaker tests.
+# FaultPlan chaos run, the shed-storm overload case (TestChaosShedStorm,
+# see docs/ADMISSION.md) and the targeted retry/breaker tests.
 chaos:
 	$(GO) test -race -run 'TestChaos|TestRetry|TestBreaker|TestNonIdempotent|TestFault' -v ./internal/orb ./internal/netsim ./internal/resilience
 

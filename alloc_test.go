@@ -10,10 +10,11 @@ import (
 // TestEchoCallAllocs is the end-to-end alloc-regression gate for the
 // invocation hot path: one echo round trip over the in-memory network —
 // stub, mediator, ORB, GIOP framing, server dispatch and back — must stay
-// within a fixed allocation budget. The pooled hot path measures ~24
-// allocations per call (down from 42 before pooling, see
-// docs/PERFORMANCE.md); the budget leaves headroom for scheduler noise
-// without letting the pre-pooling number back in.
+// within a fixed allocation budget. The pooled hot path measures ~18
+// allocations per call (42 before pooling, ~24 before the server-side
+// decode pools and FrameReader body reuse, see docs/PERFORMANCE.md); the
+// budget leaves headroom for scheduler noise without letting the older
+// numbers back in.
 func TestEchoCallAllocs(t *testing.T) {
 	n := maqs.NewNetwork()
 	server, err := maqs.NewSystem(maqs.Options{Transport: n.Host("server")})
@@ -50,9 +51,61 @@ func TestEchoCallAllocs(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	const maxAllocs = 36
+	const maxAllocs = 28
 	if avg > maxAllocs {
 		t.Fatalf("echo round trip allocates %.1f objects/op, budget is %d (pre-pooling baseline was 42)", avg, maxAllocs)
 	}
 	t.Logf("echo round trip: %.1f allocs/op (budget %d)", avg, maxAllocs)
+}
+
+// TestServerDispatchAllocs is the same end-to-end gate with the server's
+// bounded dispatch pools enabled: the worker-pool path adds queue
+// handoff, pooled args scratch and a pooled ServerRequest, and must not
+// reintroduce per-request garbage. Measured ~17 allocs/op — no more than
+// the goroutine-per-request number, because the job, its args copy and
+// the ServerRequest all come from pools.
+func TestServerDispatchAllocs(t *testing.T) {
+	n := maqs.NewNetwork()
+	server, err := maqs.NewSystem(maqs.Options{
+		Transport:          n.Host("server"),
+		DispatchWorkers:    4,
+		DispatchQueueDepth: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	if err := server.Listen("server:1"); err != nil {
+		t.Fatal(err)
+	}
+	client, err := maqs.NewSystem(maqs.Options{Transport: n.Host("client")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Shutdown()
+
+	ref, err := server.Activate("echo", "IDL:test/Echo:1.0", benchEcho{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := client.Stub(ref)
+	args := encodeOctets(client.ORB.Order(), []byte("alloc gate payload"))
+	ctx := context.Background()
+
+	for i := 0; i < 10; i++ {
+		if _, err := stub.Call(ctx, "echo", args); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := stub.Call(ctx, "echo", args); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const maxAllocs = 28
+	if avg > maxAllocs {
+		t.Fatalf("bounded-dispatch round trip allocates %.1f objects/op, budget is %d", avg, maxAllocs)
+	}
+	t.Logf("bounded-dispatch round trip: %.1f allocs/op (budget %d)", avg, maxAllocs)
 }

@@ -30,12 +30,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"sync"
 	"syscall"
@@ -47,6 +49,7 @@ import (
 	"maqs/internal/characteristics/encryption"
 	"maqs/internal/ior"
 	"maqs/internal/loadgen"
+	"maqs/internal/obs"
 	"maqs/internal/orb"
 	"maqs/internal/qos"
 )
@@ -105,6 +108,10 @@ func run() error {
 	debug := flag.String("debug", "", "HTTP debug address serving /metrics, /trace, /flight and the live /loadgen status (empty: disabled)")
 	out := flag.String("o", "", "write the final report as BENCH-format JSON to this file (empty: stdout summary only)")
 	report := flag.Duration("report", 2*time.Second, "interval between live progress summaries")
+	workers := flag.Int("dispatch-workers", 4*runtime.GOMAXPROCS(0), "self server: dispatch workers per QoS class (0: unbounded goroutine-per-request)")
+	queueDepth := flag.Int("queue-depth", 512, "self server: dispatch queue depth per class before shedding")
+	shedDeadline := flag.Duration("shed-deadline", 0, "self server: shed requests queued longer than this (0: queue-full shedding only)")
+	statusSnap := flag.String("status-snapshot", "", "write the final live-status JSON (the /loadgen view) to this file")
 	flag.Parse()
 
 	scenarios := loadgen.Preset(*scenario)
@@ -116,17 +123,20 @@ func run() error {
 	}
 
 	var target *ior.IOR
+	var serverMetrics *obs.Registry
 	switch {
 	case *self && *iorFlag != "":
 		return fmt.Errorf("-self and -ior are mutually exclusive")
 	case *self:
-		ref, shutdown, err := startSelfServer()
+		ref, reg, shutdown, err := startSelfServer(*workers, *queueDepth, *shedDeadline)
 		if err != nil {
 			return err
 		}
 		defer shutdown()
 		target = ref
-		fmt.Printf("self target on %s\n", ref.Profile.Addr())
+		serverMetrics = reg
+		fmt.Printf("self target on %s (dispatch workers %d, queue depth %d)\n",
+			ref.Profile.Addr(), *workers, *queueDepth)
 	case *iorFlag != "":
 		raw := *iorFlag
 		if strings.HasPrefix(raw, "@") {
@@ -152,6 +162,7 @@ func run() error {
 		ConnsPerEndpoint: *conns,
 		Summary:          os.Stdout,
 		SummaryEvery:     *report,
+		ServerMetrics:    serverMetrics,
 	})
 	if err != nil {
 		return err
@@ -193,6 +204,12 @@ func run() error {
 
 	fmt.Printf("\nrun finished in %.2fs: %d/%d completed, %d errors\n",
 		rep.DurationSeconds, rep.TotalCompleted, rep.TotalScheduled, rep.TotalErrors)
+	if rep.ServerAdmitted > 0 || rep.TotalShed > 0 {
+		fmt.Printf("server admission: %d admitted, %d shed\n", rep.ServerAdmitted, rep.TotalShed)
+		for name, v := range rep.ServerSheds {
+			fmt.Printf("  %s %d\n", name, v)
+		}
+	}
 	for _, c := range rep.Classes {
 		fmt.Printf("\nclass %s (%s", c.Class, c.Operation)
 		if c.Characteristic != "" {
@@ -219,29 +236,54 @@ func run() error {
 		}
 		fmt.Printf("\nreport written to %s\n", *out)
 	}
+	if *statusSnap != "" {
+		data, err := json.MarshalIndent(runner.Status(), "", "  ")
+		if err != nil {
+			return fmt.Errorf("encoding status snapshot: %w", err)
+		}
+		if err := os.WriteFile(*statusSnap, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", *statusSnap, err)
+		}
+		fmt.Printf("status snapshot written to %s\n", *statusSnap)
+	}
 	return nil
 }
 
 func ns(v int64) time.Duration { return time.Duration(v).Round(time.Microsecond) }
 
 // startSelfServer brings up the in-process target: the demo servant with
-// the three standard characteristics on a loopback TCP port.
-func startSelfServer() (*ior.IOR, func(), error) {
-	sys, err := maqs.NewSystem(maqs.Options{})
+// the three standard characteristics on a loopback TCP port, bounded
+// per-class dispatch, and contract-driven admission control. Its metrics
+// registry is returned so the report can harvest admitted/shed counts.
+func startSelfServer(workers, queueDepth int, shedDeadline time.Duration) (*ior.IOR, *obs.Registry, func(), error) {
+	bundle := maqs.NewObservability()
+	admission := maqs.NewAdmissionController(maqs.ClassPolicy{
+		Workers:    workers,
+		QueueDepth: queueDepth,
+		Deadline:   shedDeadline,
+	})
+	sys, err := maqs.NewSystem(maqs.Options{
+		Observability:      bundle,
+		DispatchWorkers:    workers,
+		DispatchQueueDepth: queueDepth,
+		DispatchDeadline:   shedDeadline,
+		AdmissionPolicy:    admission.Policy,
+	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if err := sys.Listen("127.0.0.1:0"); err != nil {
 		sys.Shutdown()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	for _, mod := range []string{compression.ModuleName, encryption.ModuleName} {
 		if err := sys.LoadModule(mod, nil); err != nil {
 			sys.Shutdown()
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	skel := maqs.NewServerSkeleton(&selfServant{doc: []byte("loadgen self target")})
+	skel.SetAdmission(admission)
 	for _, impl := range []qos.Impl{
 		compression.NewImpl(0),
 		encryption.NewImpl(0),
@@ -249,7 +291,7 @@ func startSelfServer() (*ior.IOR, func(), error) {
 	} {
 		if err := skel.AddQoS(impl); err != nil {
 			sys.Shutdown()
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	ref, err := sys.ActivateQoS("load", "IDL:maqs/Demo:1.0", skel, maqs.QoSInfo{
@@ -258,7 +300,7 @@ func startSelfServer() (*ior.IOR, func(), error) {
 	})
 	if err != nil {
 		sys.Shutdown()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return ref, sys.Shutdown, nil
+	return ref, bundle.Registry, sys.Shutdown, nil
 }

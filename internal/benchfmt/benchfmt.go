@@ -1,9 +1,3 @@
-// Package benchfmt is the shared writer for the BENCH_*.json benchmark
-// trajectory format (see docs/PERFORMANCE.md). Two producers emit it:
-// cmd/benchjson parses `go test -bench` output into it, and the loadgen
-// report writer (internal/loadgen) renders open-loop load measurements
-// into the same shape — so every performance number of the repository,
-// micro or macro, lands in one comparable trajectory.
 package benchfmt
 
 import (

@@ -1,0 +1,23 @@
+// Package benchfmt is the shared writer for the BENCH_*.json benchmark
+// trajectory format (see docs/PERFORMANCE.md). Two producers emit it:
+// cmd/benchjson parses `go test -bench` output into it, and the loadgen
+// report writer (internal/loadgen) renders open-loop load measurements
+// into the same shape — so every performance number of the repository,
+// micro or macro, lands in one comparable trajectory.
+//
+// A Doc is one trajectory point: a context block (goos/goarch/cpu, the
+// git commit and timestamp stamped by Stamp, plus producer-specific
+// keys such as the loadgen seed or the self-server's admission counts)
+// and a flat result list. Results carry either the `go test -bench`
+// columns (iterations, ns/op, B/op, allocs/op) or a Value with an
+// explicit Unit for non-latency measurements (req/s throughput, error
+// and shed counts), so a BENCH_*.json stays self-describing without a
+// schema version.
+//
+// Benchmark names are normalised (the -N GOMAXPROCS suffix stripped)
+// so trajectory points compare across machines; comparing two points
+// is a join of `results` on `name`. The Makefile's BENCH_OUT /
+// LOADGEN_OUT variables pick the file names, bumped once per
+// perf-relevant PR so the repository accumulates its performance
+// history as data, not prose.
+package benchfmt

@@ -83,31 +83,40 @@ func readFrame(r io.Reader) (*Message, bool, error) {
 	return readFrameInto(r, hdr)
 }
 
-// readFrameInto is readFrame with a caller-supplied header scratch buffer
-// (len >= HeaderSize), so per-connection read loops avoid one allocation
-// per frame.
-func readFrameInto(r io.Reader, hdr []byte) (*Message, bool, error) {
+// readHeaderInto reads and validates one frame header into hdr (len >=
+// HeaderSize) and decodes its fields.
+func readHeaderInto(r io.Reader, hdr []byte) (t MsgType, order cdr.ByteOrder, more bool, size uint32, err error) {
 	hdr = hdr[:HeaderSize]
-	if _, err := io.ReadFull(r, hdr); err != nil {
-		return nil, false, err
+	if _, err = io.ReadFull(r, hdr); err != nil {
+		return 0, 0, false, 0, err
 	}
 	if string(hdr[:4]) != Magic {
-		return nil, false, fmt.Errorf("giop: bad magic %q", hdr[:4])
+		return 0, 0, false, 0, fmt.Errorf("giop: bad magic %q", hdr[:4])
 	}
 	if hdr[4] != VersionMajor || hdr[5] != VersionMinor {
-		return nil, false, fmt.Errorf("giop: unsupported version %d.%d", hdr[4], hdr[5])
+		return 0, 0, false, 0, fmt.Errorf("giop: unsupported version %d.%d", hdr[4], hdr[5])
 	}
-	order := cdr.ByteOrder(hdr[6] & 1)
-	more := hdr[6]&flagMoreFragments != 0
-	t := MsgType(hdr[7])
-	var size uint32
+	order = cdr.ByteOrder(hdr[6] & 1)
+	more = hdr[6]&flagMoreFragments != 0
+	t = MsgType(hdr[7])
 	if order == cdr.LittleEndian {
 		size = uint32(hdr[8]) | uint32(hdr[9])<<8 | uint32(hdr[10])<<16 | uint32(hdr[11])<<24
 	} else {
 		size = uint32(hdr[8])<<24 | uint32(hdr[9])<<16 | uint32(hdr[10])<<8 | uint32(hdr[11])
 	}
 	if size > MaxMessageSize {
-		return nil, false, fmt.Errorf("giop: message body %d exceeds limit", size)
+		return 0, 0, false, 0, fmt.Errorf("giop: message body %d exceeds limit", size)
+	}
+	return t, order, more, size, nil
+}
+
+// readFrameInto is readFrame with a caller-supplied header scratch buffer
+// (len >= HeaderSize), so per-connection read loops avoid one allocation
+// per frame.
+func readFrameInto(r io.Reader, hdr []byte) (*Message, bool, error) {
+	t, order, more, size, err := readHeaderInto(r, hdr)
+	if err != nil {
+		return nil, false, err
 	}
 	body := make([]byte, size)
 	if _, err := io.ReadFull(r, body); err != nil {

@@ -190,17 +190,88 @@ func ReadMessage(r io.Reader) (*Message, error) {
 // of ReadMessageReassembled for long-lived connections; it must only be
 // used from one goroutine at a time (the per-connection read loop).
 type FrameReader struct {
-	r   io.Reader
-	hdr [HeaderSize]byte
+	r     io.Reader
+	hdr   [HeaderSize]byte
+	reuse bool
+	body  []byte
+	msg   Message
 }
+
+// maxRetainedBody caps the body scratch a reusing FrameReader keeps
+// between reads; a single oversized message must not pin its buffer for
+// the connection's lifetime.
+const maxRetainedBody = 64 << 10
 
 // NewFrameReader returns a FrameReader over r.
 func NewFrameReader(r io.Reader) *FrameReader {
 	return &FrameReader{r: r}
 }
 
+// ReuseBody switches the reader into body-reuse mode: ReadMessage returns
+// a *Message (and Body) that is only valid until the next ReadMessage
+// call, in exchange for zero steady-state allocations per message. The
+// per-connection read loops enable this and copy out whatever outlives
+// the loop iteration; everything decoded from headers already copies.
+func (fr *FrameReader) ReuseBody(on bool) { fr.reuse = on }
+
 // ReadMessage reads one logical message, transparently reassembling
-// fragmented frames.
+// fragmented frames. In ReuseBody mode the returned message aliases the
+// reader's scratch buffer and is invalidated by the next call.
 func (fr *FrameReader) ReadMessage() (*Message, error) {
-	return readReassembled(fr.r, fr.hdr[:])
+	if !fr.reuse {
+		return readReassembled(fr.r, fr.hdr[:])
+	}
+	return fr.readReuse()
+}
+
+// readReuse is the body-reusing twin of readReassembled: frame bodies
+// (including fragment continuations) land in fr.body, which is grown on
+// demand and retained across reads up to maxRetainedBody.
+func (fr *FrameReader) readReuse() (*Message, error) {
+	if cap(fr.body) > maxRetainedBody {
+		fr.body = nil
+	}
+	t, order, more, size, err := readHeaderInto(fr.r, fr.hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	if cap(fr.body) < int(size) {
+		fr.body = make([]byte, size)
+	}
+	fr.body = fr.body[:size]
+	if _, err := io.ReadFull(fr.r, fr.body); err != nil {
+		return nil, fmt.Errorf("giop: reading body: %w", err)
+	}
+	if !more && t == MsgFragment {
+		return nil, fmt.Errorf("giop: fragment without a preceding message")
+	}
+	for more {
+		ft, forder, fmore, fsize, err := readHeaderInto(fr.r, fr.hdr[:])
+		if err != nil {
+			return nil, fmt.Errorf("giop: reading continuation fragment: %w", err)
+		}
+		if ft != MsgFragment {
+			return nil, fmt.Errorf("giop: expected Fragment, found %v", ft)
+		}
+		if forder != order {
+			return nil, fmt.Errorf("giop: fragment byte order changed mid-message")
+		}
+		off := len(fr.body)
+		total := off + int(fsize)
+		if total > MaxMessageSize {
+			return nil, fmt.Errorf("giop: reassembled message %d exceeds limit", total)
+		}
+		if cap(fr.body) < total {
+			grown := make([]byte, total)
+			copy(grown, fr.body)
+			fr.body = grown
+		}
+		fr.body = fr.body[:total]
+		if _, err := io.ReadFull(fr.r, fr.body[off:]); err != nil {
+			return nil, fmt.Errorf("giop: reading continuation fragment: %w", err)
+		}
+		more = fmore
+	}
+	fr.msg = Message{Type: t, Order: order, Body: fr.body}
+	return &fr.msg, nil
 }

@@ -21,6 +21,15 @@
 // counts — and export in the BENCH_*.json trajectory format through
 // internal/benchfmt, shared with cmd/benchjson.
 //
+// The report also covers the server side of overload: when
+// Config.ServerMetrics points at the target's metrics registry (the
+// -self server wires this automatically), the admission-control
+// counters — requests admitted, requests shed, per-class and
+// per-reason (docs/ADMISSION.md) — are harvested into the report and
+// the BENCH output. Against a bounded-dispatch server, overload reads
+// as shed counts plus flat percentiles for the admitted traffic,
+// rather than percentiles inflated by unbounded queueing.
+//
 // cmd/maqs-loadgen is the CLI; docs/LOADGEN.md describes the arrival
 // models, the correction rationale, the report schema and how to add
 // scenarios.

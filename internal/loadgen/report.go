@@ -5,9 +5,11 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"maqs/internal/benchfmt"
+	"maqs/internal/obs"
 )
 
 // LatencySummary is the percentile digest of one histogram. Durations
@@ -65,6 +67,13 @@ type Report struct {
 	TotalCompleted  uint64        `json:"total_completed"`
 	TotalErrors     uint64        `json:"total_errors"`
 	Classes         []ClassReport `json:"classes"`
+	// ServerAdmitted and TotalShed mirror the target server's admission
+	// counters when Config.ServerMetrics is wired (self mode); ServerSheds
+	// breaks sheds down by labeled counter (class and reason). Overload
+	// shows up here as shed counts, never as unbounded queue growth.
+	ServerAdmitted uint64            `json:"server_admitted,omitempty"`
+	TotalShed      uint64            `json:"server_shed,omitempty"`
+	ServerSheds    map[string]uint64 `json:"server_sheds,omitempty"`
 }
 
 func (r *Runner) buildReport(elapsed time.Duration) *Report {
@@ -76,7 +85,31 @@ func (r *Runner) buildReport(elapsed time.Duration) *Report {
 		rep.TotalErrors += cr.Errors
 		rep.Classes = append(rep.Classes, cr)
 	}
+	rep.harvestServer(r.cfg.ServerMetrics)
 	return rep
+}
+
+// harvestServer folds the target server's admission counters into the
+// report. The unlabeled totals map onto ServerAdmitted/TotalShed; every
+// labeled maqs_server_shed_total{...} series is carried verbatim so the
+// per-class, per-reason breakdown survives into BENCH_*.json.
+func (rep *Report) harvestServer(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for name, v := range reg.Snapshot().Counters {
+		switch {
+		case name == "maqs_server_admitted_total":
+			rep.ServerAdmitted = v
+		case name == "maqs_server_shed_total":
+			rep.TotalShed = v
+		case v > 0 && strings.HasPrefix(name, "maqs_server_shed_total{"):
+			if rep.ServerSheds == nil {
+				rep.ServerSheds = map[string]uint64{}
+			}
+			rep.ServerSheds[name] = v
+		}
+	}
 }
 
 func (c *classRun) report(elapsed time.Duration) ClassReport {
@@ -117,6 +150,10 @@ func (rep *Report) BenchDoc() *benchfmt.Doc {
 	doc.Context["seed"] = strconv.FormatUint(rep.Seed, 10)
 	doc.Context["duration_seconds"] = strconv.FormatFloat(rep.DurationSeconds, 'f', 2, 64)
 	doc.Context["total_requests"] = strconv.FormatUint(rep.TotalCompleted, 10)
+	if rep.ServerAdmitted > 0 || rep.TotalShed > 0 {
+		doc.Context["server_admitted"] = strconv.FormatUint(rep.ServerAdmitted, 10)
+		doc.Context["server_shed"] = strconv.FormatUint(rep.TotalShed, 10)
+	}
 	for _, c := range rep.Classes {
 		iters := int64(c.Completed)
 		lat := func(suffix string, ns int64) benchfmt.Result {
@@ -133,6 +170,12 @@ func (rep *Report) BenchDoc() *benchfmt.Doc {
 			benchfmt.Result{Name: "Loadgen/" + c.Class + "/throughput", Iterations: iters, Value: round2(c.ThroughputRPS), Unit: "req/s"},
 			benchfmt.Result{Name: "Loadgen/" + c.Class + "/errors", Iterations: iters, Value: float64(c.Errors), Unit: "count"},
 			benchfmt.Result{Name: "Loadgen/" + c.Class + "/retries", Iterations: iters, Value: float64(c.Retries), Unit: "count"},
+		)
+	}
+	if rep.ServerAdmitted > 0 || rep.TotalShed > 0 {
+		doc.Results = append(doc.Results,
+			benchfmt.Result{Name: "Loadgen/server/admitted", Iterations: int64(rep.TotalCompleted), Value: float64(rep.ServerAdmitted), Unit: "count"},
+			benchfmt.Result{Name: "Loadgen/server/shed", Iterations: int64(rep.TotalCompleted), Value: float64(rep.TotalShed), Unit: "count"},
 		)
 	}
 	return doc
@@ -158,8 +201,14 @@ func (r *Runner) Status() any {
 	out := struct {
 		Running        bool          `json:"running"`
 		ElapsedSeconds float64       `json:"elapsed_seconds"`
+		ServerAdmitted uint64        `json:"server_admitted,omitempty"`
+		ServerShed     uint64        `json:"server_shed,omitempty"`
 		Classes        []classStatus `json:"classes"`
 	}{Running: r.started.Load()}
+	if reg := r.cfg.ServerMetrics; reg != nil {
+		out.ServerAdmitted = reg.Counter("maqs_server_admitted_total").Value()
+		out.ServerShed = reg.Counter("maqs_server_shed_total").Value()
+	}
 	if !out.Running {
 		return out
 	}

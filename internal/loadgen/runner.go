@@ -40,6 +40,11 @@ type Config struct {
 	// progress summary every SummaryEvery (default 2s).
 	Summary      io.Writer
 	SummaryEvery time.Duration
+	// ServerMetrics, when set, is harvested into the report's server-side
+	// admission view: maqs_server_admitted/shed_total counters become
+	// Report.ServerAdmitted/ServerSheds. Point it at the target server's
+	// registry (the -self server wires this automatically).
+	ServerMetrics *obs.Registry
 }
 
 // job is one intended request: its schedule offset from the run start

@@ -23,6 +23,10 @@ const (
 	AnomalyQoSViolation = "qos-violation"
 	// AnomalyDegradeStep marks the QoS degradation ladder stepping down.
 	AnomalyDegradeStep = "qos-degrade"
+	// AnomalyOverloadShed marks sustained server-side admission shedding:
+	// a dispatch class dropping requests faster than the shed-storm
+	// threshold (see orb's admission control).
+	AnomalyOverloadShed = "overload-shed"
 )
 
 // FlightRecord is one completed invocation (or resilience event) as

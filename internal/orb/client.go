@@ -279,9 +279,13 @@ func (c *clientConn) locate(ctx context.Context, objectKey []byte) (giop.LocateS
 	}
 }
 
-// readLoop demultiplexes replies until the connection dies.
+// readLoop demultiplexes replies until the connection dies. The frame
+// reader reuses its body buffer across reads: reply data is copied into
+// the Outcome and header unmarshalling copies what it keeps, so nothing
+// outlives the loop iteration.
 func (c *clientConn) readLoop() {
 	fr := giop.NewFrameReader(c.raw)
+	fr.ReuseBody(true)
 	for {
 		msg, err := fr.ReadMessage()
 		if err != nil {

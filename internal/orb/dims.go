@@ -38,6 +38,30 @@ func (ob *orbObs) dims(op, class string) *dispatchDims {
 	return v.(*dispatchDims)
 }
 
+// admitDims is one QoS class's admission-control telemetry cell:
+// admitted requests and sheds split by reason, pre-resolved so the
+// dispatch workers do atomic increments only.
+type admitDims struct {
+	admitted      *obs.Counter
+	shedQueueFull *obs.Counter
+	shedDeadline  *obs.Counter
+}
+
+// admission returns the admission cell for a class, creating and caching
+// it on first sight (cardinality bounded like dims).
+func (ob *orbObs) admission(class string) *admitDims {
+	if v, ok := ob.admitCells.Load(class); ok {
+		return v.(*admitDims)
+	}
+	a := &admitDims{
+		admitted:      ob.bundle.Registry.Counter(fmt.Sprintf("maqs_server_admitted_total{class=%q}", class)),
+		shedQueueFull: ob.bundle.Registry.Counter(fmt.Sprintf("maqs_server_shed_total{class=%q,reason=%q}", class, "queue-full")),
+		shedDeadline:  ob.bundle.Registry.Counter(fmt.Sprintf("maqs_server_shed_total{class=%q,reason=%q}", class, "deadline")),
+	}
+	v, _ := ob.admitCells.LoadOrStore(class, a)
+	return v.(*admitDims)
+}
+
 // qosClass names the request's QoS class for telemetry: the negotiated
 // characteristic carried in the SCQoS service context, or "none" for
 // plain traffic. The payload is decoded locally (characteristic is the

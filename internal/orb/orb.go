@@ -37,6 +37,27 @@ type Options struct {
 	// concurrent callers do not serialise on one connection's write
 	// mutex. 0 or 1 keeps the single multiplexed connection.
 	ConnsPerEndpoint int
+	// DispatchWorkers bounds concurrent server-side request handlers per
+	// QoS class: each class gets its own queue drained by this many
+	// worker goroutines, and requests arriving at a full queue are shed
+	// with a TRANSIENT exception instead of spawning without limit.
+	// <= 0 (the default) keeps the unbounded goroutine-per-request path.
+	DispatchWorkers int
+	// DispatchQueueDepth caps requests queued per class ahead of the
+	// workers. <= 0 takes DefaultQueueDepth (only relevant when
+	// dispatch is bounded).
+	DispatchQueueDepth int
+	// DispatchDeadline sheds queued requests that waited longer than
+	// this before reaching a worker — their reply would miss the
+	// client's deadline anyway. 0 disables deadline shedding.
+	DispatchDeadline time.Duration
+	// AdmissionPolicy overrides the dispatch policy per QoS class (the
+	// class names match the dispatch telemetry: the negotiated
+	// characteristic, or "none" for untagged traffic). Zero fields of
+	// the returned policy fall back to the Dispatch* defaults above.
+	// The qos layer derives these policies from negotiated contracts;
+	// a class's policy is resolved once, at its first request.
+	AdmissionPolicy func(class string) ClassPolicy
 	// Logger receives diagnostics. Defaults to a discarding logger.
 	Logger *slog.Logger
 	// Observability enables tracing and metrics on this ORB. Nil (the
@@ -71,6 +92,9 @@ type ORB struct {
 	iiop    *iiopModule
 	adapter *Adapter
 	res     *resilienceState // nil when no resilience policy is installed
+	// dispatcher holds the per-class worker pools; nil when dispatch is
+	// unbounded (no DispatchWorkers and no AdmissionPolicy configured).
+	dispatcher *dispatcher
 
 	// obsState holds the installed observability bundle together with
 	// the pre-resolved server-path instruments; an atomic pointer keeps
@@ -101,9 +125,16 @@ type orbObs struct {
 	latency  *obs.Histogram
 	// inflight is the unlabeled total of requests inside dispatch.
 	inflight *obs.Gauge
+	// admitted and shed are the unlabeled admission-control totals;
+	// per-class cells live in admitCells (see dims.go).
+	admitted *obs.Counter
+	shed     *obs.Counter
 	// dimCells caches the per-(operation, QoS class) instrument cells
 	// (see dims.go): string "op\x00class" -> *dispatchDims.
 	dimCells sync.Map
+	// admitCells caches the per-class admission instrument cells:
+	// class -> *admitDims.
+	admitCells sync.Map
 }
 
 // CommandHandler interprets command-tagged requests (the paper's dual use
@@ -123,6 +154,9 @@ func New(opts Options) *ORB {
 	o.iiop = &iiopModule{orb: o}
 	o.adapter = &Adapter{orb: o}
 	o.router = RouterFunc(func(*Invocation) (TransportModule, error) { return o.iiop, nil })
+	if o.opts.DispatchWorkers > 0 || o.opts.AdmissionPolicy != nil {
+		o.dispatcher = newDispatcher(o)
+	}
 	if opts.Observability != nil {
 		o.SetObservability(opts.Observability)
 	}
@@ -145,6 +179,8 @@ func (o *ORB) SetObservability(b *obs.Observability) {
 		errors:   b.Registry.Counter("maqs_server_errors_total"),
 		latency:  b.Registry.Histogram("maqs_server_dispatch_seconds", nil),
 		inflight: b.Registry.Gauge("maqs_server_inflight"),
+		admitted: b.Registry.Counter("maqs_server_admitted_total"),
+		shed:     b.Registry.Counter("maqs_server_shed_total"),
 	})
 	registerPoolMetrics(b.Registry)
 }
@@ -387,6 +423,7 @@ func (o *ORB) Shutdown() {
 	if o.shutdown {
 		o.mu.Unlock()
 		o.wg.Wait()
+		o.closeDispatcher()
 		return
 	}
 	o.shutdown = true
@@ -412,7 +449,17 @@ func (o *ORB) Shutdown() {
 	for _, c := range server {
 		c.Close()
 	}
+	// Connection read loops (the only dispatch producers) are on o.wg and
+	// wait for their own queued requests before returning, so once the
+	// wait clears the class queues are empty and the workers can go.
 	o.wg.Wait()
+	o.closeDispatcher()
+}
+
+func (o *ORB) closeDispatcher() {
+	if o.dispatcher != nil {
+		o.dispatcher.close()
+	}
 }
 
 // getConn returns a live client connection to addr from the endpoint's

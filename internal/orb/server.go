@@ -146,8 +146,12 @@ func (o *ORB) acceptLoop(l net.Listener) {
 	}
 }
 
-// serveConn reads requests off one connection and dispatches each in its
-// own goroutine; replies are serialised by a write mutex.
+// serveConn reads requests off one connection and hands each to the
+// dispatcher (bounded per-class worker pools) or, for unbounded classes,
+// its own goroutine; replies are serialised by a write mutex. The frame
+// reader reuses its body buffer across reads, so everything a request
+// retains (header fields, argument bytes) is copied out before the next
+// read — arguments into a pooled scratch buffer.
 func (o *ORB) serveConn(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -160,6 +164,7 @@ func (o *ORB) serveConn(conn net.Conn) {
 	defer handlers.Wait()
 
 	fr := giop.NewFrameReader(conn)
+	fr.ReuseBody(true)
 	for {
 		msg, err := fr.ReadMessage()
 		if err != nil {
@@ -171,20 +176,34 @@ func (o *ORB) serveConn(conn net.Conn) {
 			h, err := giop.UnmarshalRequestHeader(d)
 			if err != nil {
 				o.opts.Logger.Warn("orb: malformed request header", "err", err)
-				_ = giop.WriteMessage(conn, giop.MsgMessageError, o.opts.Order, nil)
+				o.writeMessageError(conn, &writeMu)
 				return
 			}
 			args, err := d.ReadOctets()
 			if err != nil {
 				o.opts.Logger.Warn("orb: malformed request body", "err", err)
-				_ = giop.WriteMessage(conn, giop.MsgMessageError, o.opts.Order, nil)
+				o.writeMessageError(conn, &writeMu)
 				return
 			}
-			argsCopy := append([]byte(nil), args...)
+			argsCopy, argsBuf := acquireArgs(args)
+			// The class is needed for both admission and telemetry;
+			// skip the tag decode entirely when neither is on.
+			class := ""
+			if o.dispatcher != nil || o.obsState.Load() != nil {
+				class = qosClass(h.Contexts)
+			}
+			if o.dispatcher != nil &&
+				o.dispatcher.submit(conn, &writeMu, &handlers, msg.Order, h, argsCopy, argsBuf, class) {
+				break // queued or shed; accounted for either way
+			}
+			// msg is the reader's reused message — copy what outlives
+			// this loop iteration before handing off.
+			order := msg.Order
 			handlers.Add(1)
 			go func() {
 				defer handlers.Done()
-				o.handleRequest(conn, &writeMu, msg.Order, h, argsCopy)
+				o.handleRequest(conn, &writeMu, order, h, argsCopy, class)
+				releaseArgs(argsBuf)
 			}()
 		case giop.MsgLocateRequest:
 			d := msg.Decoder()
@@ -216,10 +235,27 @@ func (o *ORB) serveConn(conn net.Conn) {
 	}
 }
 
+// writeMessageError reports a protocol error to the peer under the
+// connection's write mutex — a bare conn write here would tear frames
+// against concurrent reply writers.
+func (o *ORB) writeMessageError(conn net.Conn, writeMu *sync.Mutex) {
+	writeMu.Lock()
+	_ = giop.WriteMessage(conn, giop.MsgMessageError, o.opts.Order, nil)
+	writeMu.Unlock()
+}
+
+// serverReqPool recycles ServerRequest structs across dispatches; the
+// request is dead once its reply is written, so handleRequest returns it
+// on every exit path.
+var serverReqPool = sync.Pool{New: func() any { return new(ServerRequest) }}
+
 // handleRequest runs one request through filters, command handling or
-// servant dispatch, and writes the reply.
-func (o *ORB) handleRequest(conn net.Conn, writeMu *sync.Mutex, order cdr.ByteOrder, h *giop.RequestHeader, args []byte) {
-	req := &ServerRequest{
+// servant dispatch, and writes the reply. class is the request's QoS
+// class when the caller already resolved it ("" lets telemetry resolve
+// it on demand).
+func (o *ORB) handleRequest(conn net.Conn, writeMu *sync.Mutex, order cdr.ByteOrder, h *giop.RequestHeader, args []byte, class string) {
+	req := serverReqPool.Get().(*ServerRequest)
+	*req = ServerRequest{
 		ObjectKey: h.ObjectKey,
 		Operation: h.Operation,
 		Contexts:  h.Contexts,
@@ -235,10 +271,13 @@ func (o *ORB) handleRequest(conn net.Conn, writeMu *sync.Mutex, order cdr.ByteOr
 	var dd *dispatchDims
 	if ob != nil {
 		start = time.Now()
+		if class == "" {
+			class = qosClass(h.Contexts)
+		}
 		// The per-(operation, QoS class) cell widens every dispatch
 		// instrument: requests, errors, latency and in-flight depth all
 		// exist labeled alongside the unlabeled aggregates.
-		dd = ob.dims(h.Operation, qosClass(h.Contexts))
+		dd = ob.dims(h.Operation, class)
 		ob.inflight.Add(1)
 		dd.inflight.Add(1)
 		var parent obs.SpanContext
@@ -270,6 +309,7 @@ func (o *ORB) handleRequest(conn net.Conn, writeMu *sync.Mutex, order cdr.ByteOr
 
 	if !h.ResponseExpected {
 		req.Out.Release()
+		releaseServerRequest(req)
 		return
 	}
 	e := giop.AcquireFrameEncoder(order)
@@ -283,9 +323,18 @@ func (o *ORB) handleRequest(conn net.Conn, writeMu *sync.Mutex, order cdr.ByteOr
 	// body may alias req.Out's buffer; it has been copied into the reply
 	// frame above, so the dispatch encoder can go back to the pool now.
 	req.Out.Release()
+	releaseServerRequest(req)
 	if err != nil {
 		o.opts.Logger.Warn("orb: writing reply failed", "err", err)
 	}
+}
+
+// releaseServerRequest scrubs and pools a finished request. The request
+// contract already forbids servants from retaining the request or its
+// argument bytes past Invoke (arguments live in a reused scratch buffer).
+func releaseServerRequest(req *ServerRequest) {
+	*req = ServerRequest{}
+	serverReqPool.Put(req)
 }
 
 // dispatch implements the server half of the request path: commands go to

@@ -41,11 +41,12 @@ const (
 type ServerSkeleton struct {
 	servant orb.Servant
 
-	mu       sync.RWMutex
-	impls    map[string]Impl   // by characteristic name
-	opOwner  map[string]string // QoS operation → owning characteristic
-	bindings map[string]*Binding
-	admitted map[string]int // live bindings per characteristic
+	mu        sync.RWMutex
+	impls     map[string]Impl   // by characteristic name
+	opOwner   map[string]string // QoS operation → owning characteristic
+	bindings  map[string]*Binding
+	admitted  map[string]int // live bindings per characteristic
+	admission *AdmissionController
 }
 
 var _ orb.Servant = (*ServerSkeleton)(nil)
@@ -58,6 +59,25 @@ func NewServerSkeleton(servant orb.Servant) *ServerSkeleton {
 		opOwner:  make(map[string]string),
 		bindings: make(map[string]*Binding),
 		admitted: make(map[string]int),
+	}
+}
+
+// SetAdmission connects the skeleton to an admission controller: every
+// successfully negotiated or renegotiated contract is folded into the
+// controller's per-class dispatch policies, closing the loop between
+// contract negotiation and the ORB's server-side admission control.
+func (s *ServerSkeleton) SetAdmission(a *AdmissionController) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.admission = a
+}
+
+func (s *ServerSkeleton) observeContract(c *Contract) {
+	s.mu.RLock()
+	a := s.admission
+	s.mu.RUnlock()
+	if a != nil {
+		a.Observe(c)
 	}
 }
 
@@ -290,6 +310,7 @@ func (s *ServerSkeleton) negotiate(req *orb.ServerRequest) error {
 		})
 	}
 
+	s.observeContract(contract)
 	req.Span.AddEvent("qos.negotiate",
 		obs.Attr{Key: "characteristic", Value: binding.Characteristic},
 		obs.Attr{Key: "binding", Value: binding.ID},
@@ -368,6 +389,7 @@ func (s *ServerSkeleton) renegotiate(req *orb.ServerRequest) error {
 			Reason:         fmt.Sprintf("adaptation refused: %v", err),
 		})
 	}
+	s.observeContract(contract)
 	req.Span.AddEvent("qos.renegotiate",
 		obs.Attr{Key: "characteristic", Value: binding.Characteristic},
 		obs.Attr{Key: "binding", Value: binding.ID},

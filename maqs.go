@@ -149,6 +149,14 @@ type (
 	// FaultStats counts the faults an injector has fired.
 	FaultStats = netsim.FaultStats
 
+	// ClassPolicy bounds server-side dispatch for one QoS class
+	// (workers, queue depth, deadline budget — see docs/ADMISSION.md).
+	ClassPolicy = orb.ClassPolicy
+	// AdmissionController maps QoS classes to dispatch policies learned
+	// from negotiated contracts; plug its Policy method into
+	// Options.AdmissionPolicy and hand it to ServerSkeleton.SetAdmission.
+	AdmissionController = qos.AdmissionController
+
 	// Degrader walks a QoS contract down a degradation ladder when the
 	// service degrades, and back up on recovery.
 	Degrader = qos.Degrader
@@ -192,6 +200,12 @@ var (
 	DefaultResiliencePolicy = resilience.DefaultPolicy
 	// NewDegrader builds a QoS degradation ladder over a stub.
 	NewDegrader = qos.NewDegrader
+	// NewAdmissionController builds a contract-driven dispatch policy
+	// source for Options.AdmissionPolicy.
+	NewAdmissionController = qos.NewAdmissionController
+	// PolicyFromContract derives one class's dispatch policy from its
+	// negotiated contract.
+	PolicyFromContract = qos.PolicyFromContract
 )
 
 // Circuit breaker states.
@@ -256,6 +270,20 @@ type Options struct {
 	// path. 0 or 1 keeps one multiplexed connection per endpoint (see
 	// docs/PERFORMANCE.md).
 	ConnsPerEndpoint int
+	// DispatchWorkers bounds concurrent server-side request handlers
+	// per QoS class; requests beyond DispatchQueueDepth are shed with a
+	// TRANSIENT exception. <= 0 keeps the unbounded
+	// goroutine-per-request dispatch (see docs/ADMISSION.md).
+	DispatchWorkers int
+	// DispatchQueueDepth caps queued requests per class (0: default).
+	DispatchQueueDepth int
+	// DispatchDeadline sheds requests that queued longer than this
+	// before reaching a worker (0: no deadline shedding).
+	DispatchDeadline time.Duration
+	// AdmissionPolicy overrides the dispatch policy per QoS class —
+	// typically an AdmissionController's Policy method, which derives
+	// policies from negotiated contracts.
+	AdmissionPolicy func(class string) ClassPolicy
 	// Logger receives diagnostics (default: discard).
 	Logger *slog.Logger
 	// SkipStandardCharacteristics leaves the registry empty; register
@@ -295,12 +323,16 @@ type System struct {
 // standard characteristics unless disabled.
 func NewSystem(opts Options) (*System, error) {
 	o := orb.New(orb.Options{
-		Transport:        opts.Transport,
-		RequestTimeout:   opts.RequestTimeout,
-		ConnsPerEndpoint: opts.ConnsPerEndpoint,
-		Logger:           opts.Logger,
-		Observability:    opts.Observability,
-		Resilience:       opts.Resilience,
+		Transport:          opts.Transport,
+		RequestTimeout:     opts.RequestTimeout,
+		ConnsPerEndpoint:   opts.ConnsPerEndpoint,
+		DispatchWorkers:    opts.DispatchWorkers,
+		DispatchQueueDepth: opts.DispatchQueueDepth,
+		DispatchDeadline:   opts.DispatchDeadline,
+		AdmissionPolicy:    opts.AdmissionPolicy,
+		Logger:             opts.Logger,
+		Observability:      opts.Observability,
+		Resilience:         opts.Resilience,
 	})
 	t := transport.Install(o)
 	registry := qos.NewRegistry()
