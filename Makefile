@@ -7,7 +7,7 @@ BENCH_OUT ?= BENCH_5.json
 
 # Trajectory file produced by `make loadgen` (the open-loop load harness's
 # full default run): see docs/LOADGEN.md.
-LOADGEN_OUT ?= BENCH_7.json
+LOADGEN_OUT ?= BENCH_8.json
 
 # Final live-status snapshot written by the loadgen smoke run (the /loadgen
 # debug view, including the self-server's admission counters); CI archives
@@ -15,21 +15,23 @@ LOADGEN_OUT ?= BENCH_7.json
 LOADGEN_STATUS ?= loadgen-status.json
 
 # Coverage floor (percent) enforced by `make cover` on the observability
-# package: the flight recorder and debug endpoints are the forensics layer,
-# so they stay thoroughly tested.
-COVER_PKG ?= ./internal/obs
+# and QoS packages: the flight recorder, debug endpoints and the SLO/burn
+# engine are the forensics layer, so they stay thoroughly tested. The
+# merged profile lands in COVER_PROFILE for CI to archive.
+COVER_PKGS ?= ./internal/obs ./internal/qos
 COVER_FLOOR ?= 75
+COVER_PROFILE ?= coverprofile.out
 
-.PHONY: all check vet build test race bench bench-smoke loadgen loadgen-smoke chaos cover clean
+.PHONY: all check vet build test race bench bench-smoke loadgen loadgen-smoke slo-smoke chaos cover clean
 
 all: check
 
 # check is the full gate: vet, build everything, race-enabled tests, the
 # chaos suite (fault injection + resilience) on its own for a readable
-# verdict, the observability coverage floor, a one-iteration bench smoke
-# so benchmark code can't rot, and the loadgen smoke run so the open-loop
-# harness keeps driving a real server end to end.
-check: vet build race chaos cover bench-smoke loadgen-smoke
+# verdict, the SLO-engine smoke, the coverage floors, a one-iteration
+# bench smoke so benchmark code can't rot, and the loadgen smoke run so
+# the open-loop harness keeps driving a real server end to end.
+check: vet build race chaos slo-smoke cover bench-smoke loadgen-smoke
 
 vet:
 	$(GO) vet ./...
@@ -73,14 +75,25 @@ loadgen-smoke:
 	echo "$$out"; \
 	echo "$$out" | grep -q ', errors 0' || { echo "loadgen-smoke: request errors reported"; exit 1; }
 
-# cover enforces the coverage floor on the observability package. It fails
-# when the package's statement coverage drops below COVER_FLOOR percent.
+# cover enforces the coverage floor on every package in COVER_PKGS and
+# writes the merged statement-coverage profile to COVER_PROFILE. It fails
+# when any package's statement coverage drops below COVER_FLOOR percent.
 cover:
-	@out=$$($(GO) test -cover $(COVER_PKG)) || { echo "$$out"; exit 1; }; \
+	@out=$$($(GO) test -cover -coverprofile=$(COVER_PROFILE) $(COVER_PKGS)) || { echo "$$out"; exit 1; }; \
 	echo "$$out"; \
-	pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p' | head -n1); \
-	if [ -z "$$pct" ]; then echo "cover: no coverage reported for $(COVER_PKG)"; exit 1; fi; \
-	awk "BEGIN { if ($$pct < $(COVER_FLOOR)) { printf \"cover: %.1f%% below floor $(COVER_FLOOR)%%\n\", $$pct; exit 1 } }"
+	pcts=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+	want=$$(echo "$(COVER_PKGS)" | wc -w); \
+	got=$$(echo "$$pcts" | grep -c .); \
+	if [ "$$got" -lt "$$want" ]; then echo "cover: coverage reported for $$got of $$want packages"; exit 1; fi; \
+	for pct in $$pcts; do \
+		awk "BEGIN { if ($$pct < $(COVER_FLOOR)) { printf \"cover: %.1f%% below floor $(COVER_FLOOR)%%\n\", $$pct; exit 1 } }" || exit 1; \
+	done
+
+# slo-smoke exercises the SLO engine's burn windows, state machine and
+# facade wiring race-enabled — a focused gate that fails fast when the
+# budget arithmetic or the degrader hookup regresses.
+slo-smoke:
+	$(GO) test -race -run 'TestSLO|TestWindowCounter|TestHealthAndReady' ./internal/qos ./internal/obs .
 
 # chaos runs the fault-injection stress tests race-enabled: the seeded
 # FaultPlan chaos run, the shed-storm overload case (TestChaosShedStorm,

@@ -155,6 +155,9 @@ func run() error {
 		return fmt.Errorf("either -self or -ior is required")
 	}
 
+	// The central bundle collects anomaly dumps from every class system
+	// (shared flight recorder) and backs the -debug HTTP surface.
+	central := maqs.NewObservability()
 	runner, err := loadgen.NewRunner(loadgen.Config{
 		Target:           target,
 		Scenarios:        scenarios,
@@ -163,11 +166,14 @@ func run() error {
 		Summary:          os.Stdout,
 		SummaryEvery:     *report,
 		ServerMetrics:    serverMetrics,
+		Observability:    central,
 	})
 	if err != nil {
 		return err
 	}
 	defer runner.Close()
+	central.SetDebugPage("/loadgen", runner.Status)
+	central.SetDebugPage("/slo", func() any { return runner.SLOStatus() })
 
 	var debugSrv *http.Server
 	if *debug != "" {
@@ -175,16 +181,14 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("debug listener: %w", err)
 		}
-		bundle := maqs.NewObservability()
-		bundle.SetDebugPage("/loadgen", runner.Status)
-		debugSrv = &http.Server{Handler: bundle.Handler()}
+		debugSrv = &http.Server{Handler: central.Handler()}
 		go func() { _ = debugSrv.Serve(ln) }()
 		defer func() {
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			_ = debugSrv.Shutdown(ctx)
 			cancel()
 		}()
-		fmt.Printf("debug endpoint on http://%s/ (live status on /loadgen)\n", ln.Addr())
+		fmt.Printf("debug endpoint on http://%s/ (live status on /loadgen, budgets on /slo)\n", ln.Addr())
 	}
 
 	// Ctrl-C ends the run early; the report covers what completed.
@@ -228,6 +232,16 @@ func run() error {
 			ns(c.Latency.P50Ns), ns(c.Latency.P90Ns), ns(c.Latency.P99Ns), ns(c.Latency.P999Ns), ns(c.Latency.MaxNs))
 		fmt.Printf("  service    p50 %-10v p90 %-10v p99 %-10v p99.9 %-10v max %v\n",
 			ns(c.Service.P50Ns), ns(c.Service.P90Ns), ns(c.Service.P99Ns), ns(c.Service.P999Ns), ns(c.Service.MaxNs))
+		for _, o := range c.SLO {
+			fmt.Printf("  slo %-10s %-8s budget %5.1f%% left  burn fast %.2f slow %.2f  (%d bad / %d good)\n",
+				o.Objective, o.State, o.BudgetRemaining*100, o.FastBurn, o.SlowBurn, o.Bad, o.Good)
+		}
+	}
+	if dumps := central.Flight.Dumps(); len(dumps) > 0 {
+		fmt.Printf("\nanomaly dumps frozen during the run (inspect with -debug and /flight?dump=<id>):\n")
+		for _, d := range dumps {
+			fmt.Printf("  %-28s %s\n", d.ID, d.Kind)
+		}
 	}
 
 	if *out != "" {

@@ -19,6 +19,12 @@ const (
 	ParamLevel = "level"
 	// ParamMinSize is the minimum payload size worth compressing.
 	ParamMinSize = "min_size"
+	// ParamMaxRTTMs is the negotiated round-trip bound in milliseconds
+	// (0 = unbounded). The characteristic itself does not enforce it;
+	// the conformance observer scores against it, PolicyFromContract
+	// turns it into a dispatch deadline, and the SLO engine derives the
+	// latency objective from it.
+	ParamMaxRTTMs = qos.ContractMaxRTTMs
 )
 
 // Describe returns the characteristic descriptor.
@@ -29,6 +35,7 @@ func Describe() *qos.Characteristic {
 		Params: []qos.ParameterDecl{
 			{Name: ParamLevel, Kind: qos.KindNumber, Default: qos.Number(6)},
 			{Name: ParamMinSize, Kind: qos.KindNumber, Default: qos.Number(128)},
+			{Name: ParamMaxRTTMs, Kind: qos.KindNumber, Default: qos.Number(0)},
 		},
 		// All behaviour lives in the transport module; the
 		// characteristic declares no application-layer QoS operations.
@@ -61,6 +68,7 @@ func NewImpl(capacity int) *Impl {
 		Params: []qos.ParamOffer{
 			{Name: ParamLevel, Kind: qos.KindNumber, Min: 1, Max: 9, Default: qos.Number(6)},
 			{Name: ParamMinSize, Kind: qos.KindNumber, Min: 0, Max: 1 << 20, Default: qos.Number(128)},
+			{Name: ParamMaxRTTMs, Kind: qos.KindNumber, Min: 0, Max: 60_000, Default: qos.Number(0)},
 		},
 	}
 	return impl

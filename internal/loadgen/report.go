@@ -10,6 +10,7 @@ import (
 
 	"maqs/internal/benchfmt"
 	"maqs/internal/obs"
+	"maqs/internal/qos"
 )
 
 // LatencySummary is the percentile digest of one histogram. Durations
@@ -57,6 +58,9 @@ type ClassReport struct {
 	// Service is measured from the actual send — the uncorrected view; a
 	// wide gap to Latency is the signature of a backlogged schedule.
 	Service LatencySummary `json:"service"`
+	// SLO is the class's final objective state from its SLO engine:
+	// burn rates, alert state and remaining error budget per objective.
+	SLO []qos.SLOObjectiveStatus `json:"slo,omitempty"`
 }
 
 // Report is the outcome of a full run.
@@ -124,6 +128,7 @@ func (c *classRun) report(elapsed time.Duration) ClassReport {
 		Degrades:       c.bundle.Registry.Counter("maqs_qos_degradations_total").Value(),
 		Latency:        summarize(c.corrected.Snapshot()),
 		Service:        summarize(c.service.Snapshot()),
+		SLO:            c.sloObjectives(),
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		cr.ThroughputRPS = float64(cr.Completed) / secs
@@ -137,6 +142,33 @@ func (c *classRun) report(elapsed time.Duration) ClassReport {
 	}
 	c.errMu.Unlock()
 	return cr
+}
+
+// sloObjectives extracts the class's own objectives from its SLO engine
+// (the engine may also hold contract-derived state keyed by the
+// characteristic name; only the scenario class's view is reported).
+func (c *classRun) sloObjectives() []qos.SLOObjectiveStatus {
+	if c.sys.SLO == nil {
+		return nil
+	}
+	for _, cls := range c.sys.SLO.Status().Classes {
+		if cls.Class == c.scn.Class {
+			return cls.Objectives
+		}
+	}
+	return nil
+}
+
+// SLOStatus merges every class's scenario-scoped SLO view into one
+// document — the /slo debug page of a loadgen run.
+func (r *Runner) SLOStatus() qos.SLOStatus {
+	st := qos.SLOStatus{Classes: []qos.SLOClassStatus{}}
+	for _, c := range r.classes {
+		if objs := c.sloObjectives(); objs != nil {
+			st.Classes = append(st.Classes, qos.SLOClassStatus{Class: c.scn.Class, Objectives: objs})
+		}
+	}
+	return st
 }
 
 // BenchDoc renders the report as a BENCH_*.json trajectory point, one
@@ -171,6 +203,14 @@ func (rep *Report) BenchDoc() *benchfmt.Doc {
 			benchfmt.Result{Name: "Loadgen/" + c.Class + "/errors", Iterations: iters, Value: float64(c.Errors), Unit: "count"},
 			benchfmt.Result{Name: "Loadgen/" + c.Class + "/retries", Iterations: iters, Value: float64(c.Retries), Unit: "count"},
 		)
+		for _, o := range c.SLO {
+			base := "Loadgen/" + c.Class + "/slo_" + o.Objective
+			doc.Results = append(doc.Results,
+				benchfmt.Result{Name: base + "_budget_remaining", Iterations: iters, Value: round2(o.BudgetRemaining), Unit: "fraction"},
+				benchfmt.Result{Name: base + "_burn_slow", Iterations: iters, Value: round2(o.SlowBurn), Unit: "burn"},
+				benchfmt.Result{Name: base + "_bad", Iterations: iters, Value: float64(o.Bad), Unit: "count"},
+			)
+		}
 	}
 	if rep.ServerAdmitted > 0 || rep.TotalShed > 0 {
 		doc.Results = append(doc.Results,
@@ -194,9 +234,10 @@ func (r *Runner) Status() any {
 		Errors        uint64         `json:"errors"`
 		WindowRPS     float64        `json:"window_rps"`
 		OverallRPS    float64        `json:"overall_rps"`
-		Latency       LatencySummary `json:"latency"`
-		Service       LatencySummary `json:"service"`
-		BacklogedJobs int            `json:"backlogged_jobs"`
+		Latency       LatencySummary           `json:"latency"`
+		Service       LatencySummary           `json:"service"`
+		BacklogedJobs int                      `json:"backlogged_jobs"`
+		SLO           []qos.SLOObjectiveStatus `json:"slo,omitempty"`
 	}
 	out := struct {
 		Running        bool          `json:"running"`
@@ -223,6 +264,7 @@ func (r *Runner) Status() any {
 			Latency:       summarize(c.corrected.Snapshot()),
 			Service:       summarize(c.service.Snapshot()),
 			BacklogedJobs: len(c.jobs),
+			SLO:           c.sloObjectives(),
 		}
 		if secs := elapsed.Seconds(); secs > 0 {
 			cs.OverallRPS = float64(cs.Completed) / secs

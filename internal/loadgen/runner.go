@@ -45,6 +45,11 @@ type Config struct {
 	// Report.ServerAdmitted/ServerSheds. Point it at the target server's
 	// registry (the -self server wires this automatically).
 	ServerMetrics *obs.Registry
+	// Observability, when set, is the run's central bundle: every class
+	// system shares its flight recorder, so anomaly dumps (SLO burns,
+	// retry exhaustion, shed storms) from any class are retrievable from
+	// the one /flight endpoint the -debug server mounts.
+	Observability *obs.Observability
 }
 
 // job is one intended request: its schedule offset from the run start
@@ -130,6 +135,9 @@ func NewRunner(cfg Config) (*Runner, error) {
 		seen[scn.Class] = true
 
 		bundle := obs.NewWithConfig(obs.Config{SpanCapacity: 64, FlightCapacity: 256})
+		if cfg.Observability != nil && cfg.Observability.Flight != nil {
+			bundle.Flight = cfg.Observability.Flight
+		}
 		sys, err := maqs.NewSystem(maqs.Options{
 			Transport:        cfg.Transport,
 			ConnsPerEndpoint: cfg.ConnsPerEndpoint,
@@ -265,6 +273,30 @@ func (c *classRun) setup(ctx context.Context, target *ior.IOR) error {
 		if err := <-errCh; err != nil {
 			return fmt.Errorf("loadgen: class %q: negotiating %s: %w", c.scn.Class, c.scn.Characteristic, err)
 		}
+	}
+
+	// SLO objectives under the scenario's class name: an explicit spec
+	// wins; otherwise a negotiated contract carrying max_rtt_ms supplies
+	// them. Every identity then feeds the class's engine, so burn state
+	// and budget land in the report and the /slo view per class.
+	engine := c.sys.SLO
+	switch {
+	case c.scn.SLO != nil:
+		engine.SetObjective(c.scn.Class, qos.Objective{Name: "errors", Target: c.scn.SLO.Target})
+		if c.scn.SLO.MaxRTTMs > 0 {
+			engine.SetObjective(c.scn.Class, qos.Objective{
+				Name:   "latency",
+				Target: c.scn.SLO.Target,
+				MaxRTT: time.Duration(c.scn.SLO.MaxRTTMs * float64(time.Millisecond)),
+			})
+		}
+	case c.scn.Characteristic != "":
+		if b := c.stubs[0].Binding(); b != nil {
+			engine.SetObjectivesFromContract(c.scn.Class, b.Contract)
+		}
+	}
+	for _, stub := range c.stubs {
+		stub.AddObserver(engine.Observer(c.scn.Class))
 	}
 
 	// Warm the stripe and the server path so the measured schedule does

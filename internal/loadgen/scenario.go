@@ -34,8 +34,23 @@ type Scenario struct {
 	// dispatch metrics key off it.
 	Characteristic string `json:"characteristic,omitempty"`
 	// Params are numeric contract parameters for the negotiation
-	// (e.g. {"level": 6} for Compression).
+	// (e.g. {"level": 6} for Compression, plus "max_rtt_ms" to negotiate
+	// a latency bound the SLO engine scores against).
 	Params map[string]float64 `json:"params,omitempty"`
+	// SLO declares explicit objectives for classes that do not negotiate
+	// them through contract terms. When nil and the negotiated contract
+	// carries max_rtt_ms, objectives are derived from the contract
+	// instead.
+	SLO *SLOSpec `json:"slo,omitempty"`
+}
+
+// SLOSpec states one class's explicit service-level objectives.
+type SLOSpec struct {
+	// MaxRTTMs bounds round-trip latency in milliseconds (0: score
+	// errors only).
+	MaxRTTMs float64 `json:"max_rtt_ms,omitempty"`
+	// Target is the required good fraction (default 0.99).
+	Target float64 `json:"target,omitempty"`
 }
 
 func (s Scenario) validate() error {
@@ -50,6 +65,14 @@ func (s Scenario) validate() error {
 	}
 	if _, err := newPayload(s.Payload); err != nil {
 		return fmt.Errorf("scenario %q: %w", s.Class, err)
+	}
+	if s.SLO != nil {
+		if s.SLO.MaxRTTMs < 0 {
+			return fmt.Errorf("loadgen: scenario %q: slo max_rtt_ms must be >= 0", s.Class)
+		}
+		if t := s.SLO.Target; t != 0 && (t <= 0 || t >= 1) {
+			return fmt.Errorf("loadgen: scenario %q: slo target must be in (0,1)", s.Class)
+		}
 	}
 	return nil
 }
@@ -102,6 +125,7 @@ func Preset(name string) []Scenario {
 				Clients:  64,
 				Arrival:  ArrivalSpec{Kind: "poisson", Rate: 1200},
 				Payload:  PayloadSpec{Kind: "bimodal", Size: 64, Large: 1024, LargeFrac: 0.05},
+				SLO:      &SLOSpec{MaxRTTMs: 250},
 			},
 			{
 				Class:          "gold",
@@ -110,7 +134,7 @@ func Preset(name string) []Scenario {
 				Arrival:        ArrivalSpec{Kind: "uniform", Rate: 600},
 				Payload:        PayloadSpec{Kind: "fixed", Size: 512},
 				Characteristic: "Compression",
-				Params:         map[string]float64{"level": 6},
+				Params:         map[string]float64{"level": 6, "max_rtt_ms": 400},
 			},
 		}
 	case "default":
@@ -121,6 +145,7 @@ func Preset(name string) []Scenario {
 				Clients:  1024,
 				Arrival:  ArrivalSpec{Kind: "poisson", Rate: 4000},
 				Payload:  PayloadSpec{Kind: "bimodal", Size: 64, Large: 1024, LargeFrac: 0.05},
+				SLO:      &SLOSpec{MaxRTTMs: 250},
 			},
 			{
 				Class:    "bulk",
@@ -128,6 +153,7 @@ func Preset(name string) []Scenario {
 				Clients:  512,
 				Arrival:  ArrivalSpec{Kind: "bursty", Rate: 1600, Burst: 6, BurstLen: 256},
 				Payload:  PayloadSpec{Kind: "pareto", Size: 512, Max: 64 << 10},
+				SLO:      &SLOSpec{Target: 0.95},
 			},
 			{
 				Class:          "gold",
@@ -136,7 +162,7 @@ func Preset(name string) []Scenario {
 				Arrival:        ArrivalSpec{Kind: "poisson", Rate: 1200},
 				Payload:        PayloadSpec{Kind: "fixed", Size: 512},
 				Characteristic: "Compression",
-				Params:         map[string]float64{"level": 6},
+				Params:         map[string]float64{"level": 6, "max_rtt_ms": 400},
 			},
 		}
 	default:

@@ -27,7 +27,30 @@ const (
 	// a dispatch class dropping requests faster than the shed-storm
 	// threshold (see orb's admission control).
 	AnomalyOverloadShed = "overload-shed"
+	// AnomalySLOBurn marks an SLO error budget burning faster than the
+	// critical burn-rate threshold on both the fast and slow windows
+	// (see qos.SLOEngine).
+	AnomalySLOBurn = "slo-burn"
 )
+
+// PhaseTimings decomposes one invocation's latency into pipeline
+// phases, so a record (or a burn dump) says where the budget went.
+// Client records carry the encode phase; server-side shed and dispatch
+// records carry the queue/dispatch/servant/reply phases. Zero fields
+// mean the phase wasn't measured, not that it took no time.
+type PhaseTimings struct {
+	// EncodeNs is client-side request marshal + frame write time.
+	EncodeNs int64 `json:"encode_ns,omitempty"`
+	// QueueWaitNs is time spent in the bounded dispatch queue.
+	QueueWaitNs int64 `json:"queue_wait_ns,omitempty"`
+	// DispatchNs is server routing/filter/unmarshal overhead: dispatch
+	// wall time minus the servant's own execution.
+	DispatchNs int64 `json:"dispatch_ns,omitempty"`
+	// ServantNs is the servant method's execution time.
+	ServantNs int64 `json:"servant_ns,omitempty"`
+	// ReplyWireNs is reply marshal + frame write time.
+	ReplyWireNs int64 `json:"reply_wire_ns,omitempty"`
+}
 
 // FlightRecord is one completed invocation (or resilience event) as
 // retained by the flight recorder: the minimal forensic state needed to
@@ -63,6 +86,9 @@ type FlightRecord struct {
 	Anomaly string `json:"anomaly,omitempty"`
 	// Latency is the wall time of the whole call including retries.
 	Latency time.Duration `json:"latency_ns"`
+	// Phases decomposes the latency into pipeline phases when the
+	// instrumented layer measured them.
+	Phases *PhaseTimings `json:"phases,omitempty"`
 	// At is when the record was finalised.
 	At time.Time `json:"at"`
 }
@@ -211,10 +237,29 @@ func (f *FlightRecorder) Trigger(kind string, trigger FlightRecord) string {
 	}
 	f.dumps = append(f.dumps, d)
 	if len(f.dumps) > f.maxDumps {
-		f.dumps = append(f.dumps[:0], f.dumps[len(f.dumps)-f.maxDumps:]...)
+		f.evictLocked()
 	}
 	f.mu.Unlock()
 	return d.ID
+}
+
+// evictLocked drops one dump to get back under maxDumps. Eviction is
+// kind-aware: the oldest dump of the most numerous kind goes first, so
+// a flood of one anomaly (a qos-violation storm, say) cannot wash a
+// rare kind's only dump (an slo-burn, a breaker-open) out of the
+// retained set.
+func (f *FlightRecorder) evictLocked() {
+	counts := make(map[string]int, 4)
+	for _, d := range f.dumps {
+		counts[d.Kind]++
+	}
+	victim, victimKind := 0, f.dumps[0].Kind
+	for i, d := range f.dumps {
+		if counts[d.Kind] > counts[victimKind] {
+			victim, victimKind = i, d.Kind
+		}
+	}
+	f.dumps = append(f.dumps[:victim], f.dumps[victim+1:]...)
 }
 
 // tailLocked copies the newest n retained records, oldest first.

@@ -167,3 +167,34 @@ func TestFlightConcurrentUse(t *testing.T) {
 		t.Fatalf("TotalRecorded = %d, want %d", got, 8*200)
 	}
 }
+
+// TestFlightDumpEvictionKindAware floods the retained set with one
+// anomaly kind and asserts a rare kind's single dump survives: eviction
+// takes the oldest dump of the most numerous kind, not the globally
+// oldest.
+func TestFlightDumpEvictionKindAware(t *testing.T) {
+	f := NewFlightRecorder(8, 2, 4)
+	f.SetDumpCooldown(0)
+	rare := f.Trigger(AnomalySLOBurn, FlightRecord{Operation: "(slo)"})
+	if rare == "" {
+		t.Fatal("rare trigger suppressed")
+	}
+	var flood []string
+	for i := 0; i < 6; i++ {
+		flood = append(flood, f.Trigger(AnomalyQoSViolation, FlightRecord{Operation: "echo"}))
+	}
+	if _, ok := f.Dump(rare); !ok {
+		t.Fatalf("rare %s dump evicted by a %s flood", AnomalySLOBurn, AnomalyQoSViolation)
+	}
+	sums := f.Dumps()
+	if len(sums) != 4 {
+		t.Fatalf("retained %d dumps, want maxDumps 4", len(sums))
+	}
+	// The flood's newest dumps are retained, its oldest evicted.
+	if _, ok := f.Dump(flood[len(flood)-1]); !ok {
+		t.Error("newest flood dump missing")
+	}
+	if _, ok := f.Dump(flood[0]); ok {
+		t.Error("oldest flood dump not evicted")
+	}
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// TestReadinessFlap drives a readiness check through ok → failing → ok
+// and asserts /ready tracks every transition while /health stays 200
+// throughout: liveness is about the process, readiness about its
+// dependencies.
+func TestReadinessFlap(t *testing.T) {
+	o := New()
+	var healthy atomic.Bool
+	healthy.Store(true)
+	o.SetReadiness("flappy", func() (bool, string) {
+		if healthy.Load() {
+			return true, "all good"
+		}
+		return false, "dependency down"
+	})
+	h := o.Handler()
+
+	readyCode := func() (int, ReadyReport) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/ready", nil))
+		var rep ReadyReport
+		if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+			t.Fatalf("/ready JSON: %v", err)
+		}
+		return rec.Code, rep
+	}
+	healthCode := func() int {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/health", nil))
+		return rec.Code
+	}
+
+	for cycle := 0; cycle < 3; cycle++ {
+		if code, rep := readyCode(); code != http.StatusOK || !rep.Ready {
+			t.Fatalf("cycle %d up: /ready = %d %+v", cycle, code, rep)
+		}
+		if code := healthCode(); code != http.StatusOK {
+			t.Fatalf("cycle %d up: /health = %d", cycle, code)
+		}
+
+		healthy.Store(false)
+		code, rep := readyCode()
+		if code != http.StatusServiceUnavailable || rep.Ready {
+			t.Fatalf("cycle %d down: /ready = %d %+v", cycle, code, rep)
+		}
+		if len(rep.Checks) != 1 || rep.Checks[0].Name != "flappy" || rep.Checks[0].OK || rep.Checks[0].Detail != "dependency down" {
+			t.Fatalf("cycle %d down: checks = %+v", cycle, rep.Checks)
+		}
+		// Liveness is unaffected by a failing dependency.
+		if code := healthCode(); code != http.StatusOK {
+			t.Fatalf("cycle %d down: /health = %d", cycle, code)
+		}
+		healthy.Store(true)
+	}
+}
+
+// TestReadinessCheckRemoval confirms a flapping check can be retired:
+// a nil check deregisters the name and readiness recovers immediately.
+func TestReadinessCheckRemoval(t *testing.T) {
+	o := New()
+	o.SetReadiness("stuck", func() (bool, string) { return false, "never ready" })
+	if rep := o.Ready(); rep.Ready {
+		t.Fatal("expected not ready with failing check")
+	}
+	o.SetReadiness("stuck", nil)
+	if rep := o.Ready(); !rep.Ready || len(rep.Checks) != 0 {
+		t.Fatalf("after removal: %+v", rep)
+	}
+}

@@ -26,11 +26,11 @@ func (o *Observability) Handler() http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		snap := o.Registry.Snapshot()
 		if r.URL.Query().Get("format") == "json" {
-			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
 			_ = snap.WriteJSON(w)
 			return
 		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = snap.WriteText(w)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
@@ -82,7 +82,7 @@ func (o *Observability) Handler() http.Handler {
 	mux.HandleFunc("/ready", func(w http.ResponseWriter, r *http.Request) {
 		rep := o.Ready()
 		if !rep.Ready {
-			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
 			w.WriteHeader(http.StatusServiceUnavailable)
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
@@ -104,14 +104,28 @@ func (o *Observability) Handler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		w.Header().Set("Content-Type", "text/plain")
-		_, _ = w.Write([]byte("maqs observability\n\n/metrics\n/metrics?format=json\n/trace\n/trace?trace=<id>\n/trace/ops\n/flight\n/flight?dump=<id>\n/health\n/ready\n\n/trace and /flight accept ?limit=N\n"))
+		paths := []string{
+			"/metrics", "/metrics?format=json", "/trace", "/trace?trace=<id>",
+			"/trace/ops", "/flight", "/flight?dump=<id>", "/health", "/ready",
+		}
 		if o != nil {
 			o.pages.Range(func(k, _ any) bool {
-				_, _ = w.Write([]byte(k.(string) + "\n"))
+				paths = append(paths, k.(string))
 				return true
 			})
 		}
+		// The index honours ?format=json like every other endpoint, so
+		// tooling can discover the surface without scraping text.
+		if r.URL.Query().Get("format") == "json" {
+			writeJSON(w, map[string]any{"service": "maqs observability", "endpoints": paths})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("maqs observability\n\n"))
+		for _, p := range paths {
+			_, _ = w.Write([]byte(p + "\n"))
+		}
+		_, _ = w.Write([]byte("\n/trace and /flight accept ?limit=N\n"))
 	})
 	return mux
 }
@@ -132,7 +146,7 @@ func limitParam(w http.ResponseWriter, r *http.Request) (int, bool) {
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)

@@ -26,7 +26,7 @@ func TestHandlerMetricsRoutes(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("/metrics status %d", rec.Code)
 	}
-	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "charset=utf-8") {
 		t.Errorf("/metrics content type %q", ct)
 	}
 	if !strings.Contains(rec.Body.String(), "maqs_test_total 7") {
@@ -34,7 +34,7 @@ func TestHandlerMetricsRoutes(t *testing.T) {
 	}
 
 	rec = get(t, h, "/metrics?format=json")
-	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
 		t.Errorf("/metrics?format=json content type %q", ct)
 	}
 	var snap struct {
@@ -57,7 +57,7 @@ func TestHandlerTraceRoutesAndLimit(t *testing.T) {
 	h := o.Handler()
 
 	rec := get(t, h, "/trace")
-	if rec.Code != http.StatusOK || rec.Header().Get("Content-Type") != "application/json" {
+	if rec.Code != http.StatusOK || rec.Header().Get("Content-Type") != "application/json; charset=utf-8" {
 		t.Fatalf("/trace status %d ct %q", rec.Code, rec.Header().Get("Content-Type"))
 	}
 	var spans []SpanRecord

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -89,6 +90,22 @@ type Histogram struct {
 	buckets  []atomic.Uint64
 	count    atomic.Uint64
 	sumNanos atomic.Int64
+	// exemplars retains, per bucket, the most recent traced observation:
+	// the forensic link from a histogram tail to its flight record. The
+	// slice parallels buckets; each slot swaps a whole *Exemplar so
+	// readers never see a torn record.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one bucket observation to the trace that produced it,
+// so a p99 outlier on /metrics resolves to a span and a flight record.
+type Exemplar struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id,omitempty"`
+	// Value is the observed latency in seconds.
+	Value float64 `json:"value"`
+	// At is when the observation was made.
+	At time.Time `json:"at"`
 }
 
 // Observe records one duration.
@@ -96,6 +113,29 @@ func (h *Histogram) Observe(d time.Duration) {
 	if h == nil {
 		return
 	}
+	h.buckets[h.bucketIdx(d)].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// ObserveExemplar records one duration and, when traceID is non-empty,
+// retains {traceID, spanID, value} as the bucket's exemplar. Untraced
+// observations degrade to a plain Observe.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID, spanID string) {
+	if h == nil {
+		return
+	}
+	i := h.bucketIdx(d)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+	if traceID != "" && i < len(h.exemplars) {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, SpanID: spanID, Value: d.Seconds(), At: time.Now()})
+	}
+}
+
+// bucketIdx finds the bucket for one observation.
+func (h *Histogram) bucketIdx(d time.Duration) int {
 	secs := d.Seconds()
 	// Linear scan beats binary search for <=16 buckets and branch
 	// predicts well since most observations land in the early buckets.
@@ -103,9 +143,7 @@ func (h *Histogram) Observe(d time.Duration) {
 	for i < len(h.bounds) && secs > h.bounds[i] {
 		i++
 	}
-	h.buckets[i].Add(1)
-	h.count.Add(1)
-	h.sumNanos.Add(int64(d))
+	return i
 }
 
 // Count reads the number of observations.
@@ -118,11 +156,57 @@ func (h *Histogram) Count() uint64 {
 
 // BucketCount is one cumulative histogram bucket in a snapshot.
 type BucketCount struct {
-	// UpperBound is the inclusive upper bound in seconds; +Inf for the
-	// overflow bucket (rendered as "+Inf" in text, omitted in JSON).
+	// UpperBound is the inclusive upper bound in seconds; the overflow
+	// bucket carries the infBound sentinel and renders as "+Inf" in both
+	// the text exposition and JSON (as a string), so JSON consumers see
+	// every bucket and can compute totals.
 	UpperBound float64 `json:"le"`
 	// Count is cumulative: observations less than or equal to UpperBound.
 	Count uint64 `json:"count"`
+	// Exemplar is the most recent traced observation that landed in this
+	// bucket's raw (non-cumulative) range, if any.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
+}
+
+// bucketCountJSON is the wire shape of BucketCount: le is a string so
+// the overflow bucket can say "+Inf" (encoding/json rejects IEEE
+// infinities as numbers).
+type bucketCountJSON struct {
+	UpperBound string    `json:"le"`
+	Count      uint64    `json:"count"`
+	Exemplar   *Exemplar `json:"exemplar,omitempty"`
+}
+
+// MarshalJSON renders the overflow bucket's bound as "+Inf" instead of
+// the internal sentinel, keeping every bucket — including overflow —
+// present and meaningful in JSON exports.
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if b.UpperBound != infBound {
+		le = strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
+	}
+	return json.Marshal(bucketCountJSON{UpperBound: le, Count: b.Count, Exemplar: b.Exemplar})
+}
+
+// UnmarshalJSON accepts the string-bound wire shape produced by
+// MarshalJSON, mapping "+Inf" back to the internal sentinel.
+func (b *BucketCount) UnmarshalJSON(data []byte) error {
+	var w bucketCountJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.UpperBound == "+Inf" {
+		b.UpperBound = infBound
+	} else {
+		v, err := strconv.ParseFloat(w.UpperBound, 64)
+		if err != nil {
+			return fmt.Errorf("bucket le %q: %w", w.UpperBound, err)
+		}
+		b.UpperBound = v
+	}
+	b.Count = w.Count
+	b.Exemplar = w.Exemplar
+	return nil
 }
 
 // HistogramSnapshot is a consistent-enough view of one histogram (buckets
@@ -200,9 +284,10 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 		bounds = DefaultLatencyBuckets
 	}
 	h := &Histogram{
-		name:    name,
-		bounds:  append([]float64(nil), bounds...),
-		buckets: make([]atomic.Uint64, len(bounds)+1),
+		name:      name,
+		bounds:    append([]float64(nil), bounds...),
+		buckets:   make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 	v, _ := r.histograms.LoadOrStore(name, h)
 	return v.(*Histogram)
@@ -284,7 +369,11 @@ func (r *Registry) Snapshot() Snapshot {
 			if i < len(h.bounds) {
 				bound = h.bounds[i]
 			}
-			hs.Buckets = append(hs.Buckets, BucketCount{UpperBound: bound, Count: cum})
+			bc := BucketCount{UpperBound: bound, Count: cum}
+			if i < len(h.exemplars) {
+				bc.Exemplar = h.exemplars[i].Load()
+			}
+			hs.Buckets = append(hs.Buckets, bc)
 		}
 		s.Histograms = append(s.Histograms, hs)
 		return true
@@ -343,7 +432,16 @@ func (s Snapshot) WriteText(w io.Writer) error {
 			if labels != "" {
 				all = labels + "," + all
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, all, b.Count); err != nil {
+			// Exemplared buckets carry an OpenMetrics-style trailer:
+			// `# {trace_id="...",span_id="..."} <seconds> <unix>` — the
+			// forensic link from a tail bucket to its flight record.
+			ex := ""
+			if b.Exemplar != nil {
+				ex = fmt.Sprintf(" # {trace_id=%q,span_id=%q} %g %.3f",
+					b.Exemplar.TraceID, b.Exemplar.SpanID, b.Exemplar.Value,
+					float64(b.Exemplar.At.UnixMilli())/1000)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d%s\n", base, all, b.Count, ex); err != nil {
 				return err
 			}
 		}

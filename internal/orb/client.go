@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"maqs/internal/giop"
 	"maqs/internal/obs"
@@ -187,6 +188,14 @@ func (c *clientConn) roundTrip(ctx context.Context, inv *Invocation) (out *Outco
 	}
 	order := c.orb.opts.Order
 
+	// Encode-phase timing covers marshal through frame write; zero cost
+	// on the uninstrumented path.
+	ob := c.orb.obsState.Load()
+	var encStart time.Time
+	if ob != nil {
+		encStart = time.Now()
+	}
+
 	// The request frame is marshalled into a pooled encoder with the GIOP
 	// header reserved up front, so header and body leave in one Write and
 	// the buffer is recycled as soon as the frame is on the wire.
@@ -208,6 +217,11 @@ func (c *clientConn) roundTrip(ctx context.Context, inv *Invocation) (out *Outco
 	err = giop.WriteFrame(c.raw, giop.MsgRequest, e, c.orb.opts.MaxFragment)
 	c.writeMu.Unlock()
 	e.Release()
+	if ob != nil && err == nil {
+		enc := time.Since(encStart)
+		inv.encodeNs = int64(enc)
+		ob.phase(inv.Binding).encode.Observe(enc)
+	}
 	if err != nil {
 		c.close(NewSystemException(ExcCommFailure, 2, "writing request to %s: %v", c.addr, err))
 		if p != nil {

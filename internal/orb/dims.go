@@ -62,6 +62,46 @@ func (ob *orbObs) admission(class string) *admitDims {
 	return v.(*admitDims)
 }
 
+// phaseDims is one QoS class's latency-decomposition cell: a labeled
+// histogram per pipeline phase, pre-resolved so the request path does
+// atomic updates only. Phase semantics match obs.PhaseTimings: encode
+// is client-side marshal + frame write, queueWait the bounded dispatch
+// queue, dispatch the server routing/filter overhead around the
+// servant, servant the method itself, replyWire the reply marshal +
+// frame write.
+type phaseDims struct {
+	encode    *obs.Histogram
+	queueWait *obs.Histogram
+	dispatch  *obs.Histogram
+	servant   *obs.Histogram
+	replyWire *obs.Histogram
+}
+
+// phase returns the phase cell for a QoS class, creating and caching it
+// on first sight (cardinality bounded by the negotiated characteristics
+// times the five fixed phases).
+func (ob *orbObs) phase(class string) *phaseDims {
+	if class == "" {
+		class = "none"
+	}
+	if v, ok := ob.phaseCells.Load(class); ok {
+		return v.(*phaseDims)
+	}
+	hist := func(phase string) *obs.Histogram {
+		return ob.bundle.Registry.Histogram(
+			fmt.Sprintf("maqs_phase_seconds{class=%q,phase=%q}", class, phase), nil)
+	}
+	p := &phaseDims{
+		encode:    hist("encode"),
+		queueWait: hist("queue_wait"),
+		dispatch:  hist("dispatch"),
+		servant:   hist("servant"),
+		replyWire: hist("reply_wire"),
+	}
+	v, _ := ob.phaseCells.LoadOrStore(class, p)
+	return v.(*phaseDims)
+}
+
 // qosClass names the request's QoS class for telemetry: the negotiated
 // characteristic carried in the SCQoS service context, or "none" for
 // plain traffic. The payload is decoded locally (characteristic is the

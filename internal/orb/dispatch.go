@@ -204,12 +204,14 @@ func (d *dispatcher) submit(conn net.Conn, writeMu *sync.Mutex, handlers *sync.W
 func (d *dispatcher) worker(q *classQueue) {
 	defer d.wg.Done()
 	for job := range q.ch {
-		if q.policy.Deadline > 0 && time.Since(job.enq) > q.policy.Deadline {
+		wait := time.Since(job.enq)
+		if q.policy.Deadline > 0 && wait > q.policy.Deadline {
 			d.shed(job, shedReasonDeadline)
 		} else {
 			if ob := d.orb.obsState.Load(); ob != nil {
 				ob.admitted.Inc()
 				ob.admission(job.class).admitted.Inc()
+				ob.phase(job.class).queueWait.Observe(wait)
 			}
 			d.orb.handleRequest(job.conn, job.writeMu, job.order, job.h, job.args, job.class)
 		}
@@ -242,13 +244,15 @@ func (d *dispatcher) shed(job *dispatchJob, reason string) {
 		}
 	}
 	if d.stormTick() {
+		wait := time.Since(job.enq)
 		o.Flight().Trigger(obs.AnomalyOverloadShed, obs.FlightRecord{
 			Operation: job.h.Operation,
 			Binding:   job.class,
 			Endpoint:  job.conn.RemoteAddr().String(),
 			Stripe:    -1,
 			Outcome:   "shed-" + reason,
-			Latency:   time.Since(job.enq),
+			Latency:   wait,
+			Phases:    &obs.PhaseTimings{QueueWaitNs: int64(wait)},
 		})
 		o.opts.Logger.Warn("orb: sustained admission shedding",
 			"class", job.class, "reason", reason)

@@ -43,6 +43,12 @@ type Invocation struct {
 	Stripe int
 	// Order is the byte order Args are encoded in.
 	Order cdr.ByteOrder
+
+	// encodeNs is the measured request marshal + frame write time of the
+	// delivery attempt (the "encode" phase), stamped by the connection
+	// layer when observability is installed. The resilience layer copies
+	// it into the flight record's phase decomposition.
+	encodeNs int64
 }
 
 // Clone returns a shallow copy with its own context list (the common need
@@ -181,6 +187,10 @@ type ServerRequest struct {
 	// installed (nil otherwise — all *obs.Span methods are nil-safe).
 	// Filters, skeletons and servants hang child spans and events off it.
 	Span *obs.Span
+
+	// servantNs is the measured servant execution time (the "servant"
+	// phase), stamped by invokeServant when observability is installed.
+	servantNs int64
 }
 
 // In returns a fresh decoder over the request arguments.

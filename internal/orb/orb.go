@@ -135,6 +135,9 @@ type orbObs struct {
 	// admitCells caches the per-class admission instrument cells:
 	// class -> *admitDims.
 	admitCells sync.Map
+	// phaseCells caches the per-class latency-decomposition cells:
+	// class -> *phaseDims (see dims.go).
+	phaseCells sync.Map
 }
 
 // CommandHandler interprets command-tagged requests (the paper's dual use

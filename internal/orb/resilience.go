@@ -196,6 +196,9 @@ func (o *ORB) deliver(ctx context.Context, mod TransportModule, inv *Invocation,
 		if rec != nil {
 			rec.Attempts = 1
 			rec.Stripe = inv.Stripe - 1
+			if inv.encodeNs > 0 {
+				rec.Phases = &obs.PhaseTimings{EncodeNs: inv.encodeNs}
+			}
 		}
 		return out, err
 	}
@@ -247,6 +250,11 @@ func (o *ORB) deliver(ctx context.Context, mod TransportModule, inv *Invocation,
 		}
 		if rec != nil && att.Stripe > 0 {
 			rec.Stripe = att.Stripe - 1
+		}
+		if rec != nil && att.encodeNs > 0 {
+			// Last attempt wins: the record's phase view describes the
+			// delivery that produced the outcome.
+			rec.Phases = &obs.PhaseTimings{EncodeNs: att.encodeNs}
 		}
 
 		failed := transportFailure(out, err)

@@ -291,6 +291,7 @@ func (o *ORB) handleRequest(conn net.Conn, writeMu *sync.Mutex, order cdr.ByteOr
 
 	status, body := o.dispatch(req)
 
+	var pd *phaseDims
 	if ob != nil {
 		elapsed := time.Since(start)
 		ob.inflight.Add(-1)
@@ -299,6 +300,17 @@ func (o *ORB) handleRequest(conn net.Conn, writeMu *sync.Mutex, order cdr.ByteOr
 		dd.requests.Inc()
 		ob.latency.Observe(elapsed)
 		dd.latency.Observe(elapsed)
+		// Decompose the dispatch wall time: the servant's own execution
+		// (stamped by invokeServant) versus the routing/filter/marshal
+		// overhead around it.
+		pd = ob.phase(class)
+		servant := time.Duration(req.servantNs)
+		if servant > 0 {
+			pd.servant.Observe(servant)
+		}
+		if overhead := elapsed - servant; overhead > 0 {
+			pd.dispatch.Observe(overhead)
+		}
 		if status != giop.ReplyNoException && status != giop.ReplyLocationForward {
 			ob.errors.Inc()
 			dd.errors.Inc()
@@ -312,6 +324,10 @@ func (o *ORB) handleRequest(conn net.Conn, writeMu *sync.Mutex, order cdr.ByteOr
 		releaseServerRequest(req)
 		return
 	}
+	var wireStart time.Time
+	if pd != nil {
+		wireStart = time.Now()
+	}
 	e := giop.AcquireFrameEncoder(order)
 	rh := giop.ReplyHeader{Contexts: req.OutContexts, RequestID: h.RequestID, Status: status}
 	rh.Marshal(e)
@@ -320,6 +336,9 @@ func (o *ORB) handleRequest(conn net.Conn, writeMu *sync.Mutex, order cdr.ByteOr
 	err := giop.WriteFrame(conn, giop.MsgReply, e, o.opts.MaxFragment)
 	writeMu.Unlock()
 	e.Release()
+	if pd != nil {
+		pd.replyWire.Observe(time.Since(wireStart))
+	}
 	// body may alias req.Out's buffer; it has been copied into the reply
 	// frame above, so the dispatch encoder can go back to the pool now.
 	req.Out.Release()
@@ -383,7 +402,18 @@ func (o *ORB) invokeServant(req *ServerRequest) (giop.ReplyStatus, []byte) {
 	if !ok {
 		return encodeError(req, NewSystemException(ExcObjectNotExist, 1, "no servant for key %q", req.ObjectKey))
 	}
-	if err := servant.Invoke(req); err != nil {
+	if o.obsState.Load() == nil {
+		if err := servant.Invoke(req); err != nil {
+			return encodeError(req, err)
+		}
+		return giop.ReplyNoException, req.Out.Bytes()
+	}
+	// Servant-phase timing feeds the dispatch decomposition (handleRequest
+	// subtracts it from the dispatch wall time).
+	t0 := time.Now()
+	err := servant.Invoke(req)
+	req.servantNs = int64(time.Since(t0))
+	if err != nil {
 		return encodeError(req, err)
 	}
 	return giop.ReplyNoException, req.Out.Bytes()

@@ -42,7 +42,10 @@ func MetricsObserver(reg *obs.Registry) Observer {
 		}
 		reqBytes.Add(uint64(o.ReqBytes))
 		repBytes.Add(uint64(o.RepBytes))
-		rtt.Observe(o.RTT)
+		// Traced observations leave an exemplar on the bucket they land
+		// in, so a tail-latency outlier on /metrics links straight to its
+		// trace and flight record.
+		rtt.ObserveExemplar(o.RTT, o.TraceID, o.SpanID)
 		class := o.Characteristic
 		if class == "" {
 			class = "none"
@@ -52,6 +55,6 @@ func MetricsObserver(reg *obs.Registry) Observer {
 			h, _ = classRTT.LoadOrStore(class,
 				reg.Histogram(fmt.Sprintf("%s{class=%q}", MetricClientRTT, class), nil))
 		}
-		h.(*obs.Histogram).Observe(o.RTT)
+		h.(*obs.Histogram).ObserveExemplar(o.RTT, o.TraceID, o.SpanID)
 	}
 }

@@ -25,6 +25,11 @@ type Observation struct {
 	Err error
 	// ReqBytes and RepBytes are payload sizes (arguments and results).
 	ReqBytes, RepBytes int
+	// TraceID and SpanID link the observation to its client.call span
+	// (and through it the flight record), so a histogram exemplar built
+	// from this observation resolves back to the full invocation story.
+	// Empty when tracing is off.
+	TraceID, SpanID string
 	// At is the completion time.
 	At time.Time
 }
@@ -217,6 +222,12 @@ func (s *Stub) Invoke(ctx context.Context, op string, args []byte, oneway bool) 
 		}
 		if binding != nil {
 			o.Characteristic = binding.Characteristic
+		}
+		if span != nil {
+			if sc := span.Context(); sc.Valid() {
+				o.TraceID = sc.TraceID.String()
+				o.SpanID = sc.SpanID.String()
+			}
 		}
 		if err != nil {
 			o.Err = err

@@ -157,6 +157,18 @@ type (
 	// Options.AdmissionPolicy and hand it to ServerSkeleton.SetAdmission.
 	AdmissionController = qos.AdmissionController
 
+	// SLOEngine scores invocations against contract-derived objectives
+	// and runs burn-rate alerting over rolling windows (see
+	// docs/OBSERVABILITY.md).
+	SLOEngine = qos.SLOEngine
+	// SLOObjective is one service-level objective (target good fraction,
+	// optional latency bound).
+	SLOObjective = qos.Objective
+	// SLOStatus is the /slo endpoint's JSON body.
+	SLOStatus = qos.SLOStatus
+	// SLOBurnEvent is one objective alert-state transition.
+	SLOBurnEvent = qos.BurnEvent
+
 	// Degrader walks a QoS contract down a degradation ladder when the
 	// service degrades, and back up on recovery.
 	Degrader = qos.Degrader
@@ -198,6 +210,9 @@ var (
 	NewConformanceObserver = qos.ConformanceObserver
 	// DefaultResiliencePolicy returns the stock retry + breaker policy.
 	DefaultResiliencePolicy = resilience.DefaultPolicy
+	// NewSLOEngine builds a standalone SLO engine (NewSystem wires one
+	// automatically when observability is enabled).
+	NewSLOEngine = qos.NewSLOEngine
 	// NewDegrader builds a QoS degradation ladder over a stub.
 	NewDegrader = qos.NewDegrader
 	// NewAdmissionController builds a contract-driven dispatch policy
@@ -316,6 +331,10 @@ type System struct {
 	Registry *qos.Registry
 	// Observability is the bundle from Options.Observability, or nil.
 	Observability *obs.Observability
+	// SLO is the contract-driven SLO engine, wired to the bundle's
+	// registry, flight recorder and /slo debug page. Nil when the system
+	// is not observable (a nil engine is a safe no-op).
+	SLO *qos.SLOEngine
 }
 
 // NewSystem builds a System: ORB, QoS transport (router + command
@@ -362,6 +381,8 @@ func NewSystem(opts Options) (*System, error) {
 			n := b.Registry.Gauge("maqs_client_bindings").Value()
 			return true, fmt.Sprintf("%d QoS bindings negotiated", n)
 		})
+		sys.SLO = qos.NewSLOEngine(b.Registry, b.Flight)
+		b.SetDebugPage("/slo", func() any { return sys.SLO.Status() })
 	}
 	if !opts.SkipStandardModules {
 		if err := compression.RegisterModule(t); err != nil {
@@ -406,13 +427,14 @@ func (s *System) ActivateQoS(key, typeID string, servant orb.Servant, info ior.Q
 
 // Stub wraps a reference for QoS-aware invocation against this system's
 // registry. When the system is observable, the stub is created with a
-// metrics observer and a contract-conformance observer already attached
-// (stack a Monitor with AddObserver).
+// metrics observer, a contract-conformance observer and an SLO-engine
+// observer already attached (stack a Monitor with AddObserver).
 func (s *System) Stub(ref *ior.IOR) *qos.Stub {
 	stub := qos.NewStubWithRegistry(s.ORB, ref, s.Registry)
 	if s.Observability != nil {
 		stub.AddObserver(qos.MetricsObserver(s.Observability.Registry))
 		stub.AddObserver(qos.ConformanceObserver(stub, s.Observability.Registry, s.Observability.Flight))
+		stub.AddObserver(s.SLO.ObserverForStub(stub))
 	}
 	return stub
 }
