@@ -9,6 +9,10 @@ BENCH_OUT ?= BENCH_5.json
 # full default run): see docs/LOADGEN.md.
 LOADGEN_OUT ?= BENCH_8.json
 
+# Trajectory file produced by `make loadgen-pipeline` (the sequential vs
+# pipelined vs batched per-connection comparison): see docs/PERFORMANCE.md.
+PIPELINE_OUT ?= BENCH_9.json
+
 # Final live-status snapshot written by the loadgen smoke run (the /loadgen
 # debug view, including the self-server's admission counters); CI archives
 # it next to the BENCH_*.json trajectory.
@@ -22,7 +26,7 @@ COVER_PKGS ?= ./internal/obs ./internal/qos
 COVER_FLOOR ?= 75
 COVER_PROFILE ?= coverprofile.out
 
-.PHONY: all check vet build test race bench bench-smoke loadgen loadgen-smoke slo-smoke chaos cover clean
+.PHONY: all check vet build test race bench bench-smoke loadgen loadgen-smoke loadgen-pipeline slo-smoke chaos cover clean
 
 all: check
 
@@ -65,6 +69,15 @@ bench-smoke:
 # the served percentiles flat and reporting the excess as shed counts.
 loadgen:
 	$(GO) run ./cmd/maqs-loadgen -self -scenario default -seed 1 -shed-deadline 250ms -o $(LOADGEN_OUT)
+
+# loadgen-pipeline runs the per-connection throughput comparison behind
+# BENCH_9.json: sequential, pipelined (CallAsync, depth 64) and batched
+# (Multicall, batch 32) echo classes, each one identity on one connection
+# over a simulated 200us link, under the same saturating schedule. The
+# pipelined class's requests/sec per connection must multiply the
+# sequential baseline's (see docs/PERFORMANCE.md).
+loadgen-pipeline:
+	$(GO) run ./cmd/maqs-loadgen -self -scenario pipeline -seed 1 -netsim-latency 200us -o $(PIPELINE_OUT)
 
 # loadgen-smoke drives the ~1.2k-request smoke preset over loopback TCP:
 # a fast end-to-end proof that the harness schedules, negotiates and

@@ -176,9 +176,25 @@ func BenchmarkE2Dispatch(b *testing.B) {
 // --- E3: replication --------------------------------------------------------
 
 func BenchmarkE3Replication(b *testing.B) {
+	benchReplication(b, 0)
+}
+
+// BenchmarkE3ReplicationWAN runs the same fan-out over links with real
+// propagation delay. With asynchronous dispatch the group's latency is
+// the slowest replica's round trip (max-of-k), so k=5 tracks k=1 here —
+// the zero-latency family above measures serialized per-replica CPU
+// instead, which is k-linear on a single core by construction.
+func BenchmarkE3ReplicationWAN(b *testing.B) {
+	benchReplication(b, 200*time.Microsecond)
+}
+
+func benchReplication(b *testing.B, latency time.Duration) {
 	for _, k := range []int{1, 3, 5} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
 			n := maqs.NewNetwork()
+			if latency > 0 {
+				n.SetDefaultLink(maqs.Link{Latency: latency})
+			}
 			endpoints := make([]string, k)
 			for i := range endpoints {
 				endpoints[i] = fmt.Sprintf("rep%d:1", i)

@@ -49,6 +49,7 @@ import (
 	"maqs/internal/characteristics/encryption"
 	"maqs/internal/ior"
 	"maqs/internal/loadgen"
+	"maqs/internal/netsim"
 	"maqs/internal/obs"
 	"maqs/internal/orb"
 	"maqs/internal/qos"
@@ -112,6 +113,7 @@ func run() error {
 	queueDepth := flag.Int("queue-depth", 512, "self server: dispatch queue depth per class before shedding")
 	shedDeadline := flag.Duration("shed-deadline", 0, "self server: shed requests queued longer than this (0: queue-full shedding only)")
 	statusSnap := flag.String("status-snapshot", "", "write the final live-status JSON (the /loadgen view) to this file")
+	netsimLat := flag.Duration("netsim-latency", 0, "self server: run over a simulated network with this one-way link latency instead of TCP loopback (gives pipelining comparisons a realistic RTT)")
 	flag.Parse()
 
 	scenarios := loadgen.Preset(*scenario)
@@ -124,11 +126,21 @@ func run() error {
 
 	var target *ior.IOR
 	var serverMetrics *obs.Registry
+	var clientTransport netsim.Transport
 	switch {
 	case *self && *iorFlag != "":
 		return fmt.Errorf("-self and -ior are mutually exclusive")
 	case *self:
-		ref, reg, shutdown, err := startSelfServer(*workers, *queueDepth, *shedDeadline)
+		var serverTransport netsim.Transport
+		listen := "127.0.0.1:0"
+		if *netsimLat > 0 {
+			n := maqs.NewNetwork()
+			n.SetLink("lg-client", "lg-server", maqs.Link{Latency: *netsimLat})
+			serverTransport = n.Host("lg-server")
+			clientTransport = n.Host("lg-client")
+			listen = "lg-server:80"
+		}
+		ref, reg, shutdown, err := startSelfServer(*workers, *queueDepth, *shedDeadline, serverTransport, listen)
 		if err != nil {
 			return err
 		}
@@ -137,6 +149,9 @@ func run() error {
 		serverMetrics = reg
 		fmt.Printf("self target on %s (dispatch workers %d, queue depth %d)\n",
 			ref.Profile.Addr(), *workers, *queueDepth)
+		if *netsimLat > 0 {
+			fmt.Printf("simulated link: %v one-way latency\n", *netsimLat)
+		}
 	case *iorFlag != "":
 		raw := *iorFlag
 		if strings.HasPrefix(raw, "@") {
@@ -162,6 +177,7 @@ func run() error {
 		Target:           target,
 		Scenarios:        scenarios,
 		Seed:             *seed,
+		Transport:        clientTransport,
 		ConnsPerEndpoint: *conns,
 		Summary:          os.Stdout,
 		SummaryEvery:     *report,
@@ -269,7 +285,7 @@ func ns(v int64) time.Duration { return time.Duration(v).Round(time.Microsecond)
 // the three standard characteristics on a loopback TCP port, bounded
 // per-class dispatch, and contract-driven admission control. Its metrics
 // registry is returned so the report can harvest admitted/shed counts.
-func startSelfServer(workers, queueDepth int, shedDeadline time.Duration) (*ior.IOR, *obs.Registry, func(), error) {
+func startSelfServer(workers, queueDepth int, shedDeadline time.Duration, transport netsim.Transport, listen string) (*ior.IOR, *obs.Registry, func(), error) {
 	bundle := maqs.NewObservability()
 	admission := maqs.NewAdmissionController(maqs.ClassPolicy{
 		Workers:    workers,
@@ -277,6 +293,7 @@ func startSelfServer(workers, queueDepth int, shedDeadline time.Duration) (*ior.
 		Deadline:   shedDeadline,
 	})
 	sys, err := maqs.NewSystem(maqs.Options{
+		Transport:          transport,
 		Observability:      bundle,
 		DispatchWorkers:    workers,
 		DispatchQueueDepth: queueDepth,
@@ -286,7 +303,7 @@ func startSelfServer(workers, queueDepth int, shedDeadline time.Duration) (*ior.
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	if err := sys.Listen("127.0.0.1:0"); err != nil {
+	if err := sys.Listen(listen); err != nil {
 		sys.Shutdown()
 		return nil, nil, nil, err
 	}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"maqs"
+	"maqs/internal/cdr"
 	"maqs/internal/characteristics/actuality"
 	"maqs/internal/characteristics/compression"
 	"maqs/internal/orb"
@@ -150,6 +151,32 @@ func run() error {
 	fmt.Printf("full feed over 256 kbit/s: plain %v, compressed %v (%.1fx faster)\n",
 		plainTime.Round(time.Millisecond), zipTime.Round(time.Millisecond),
 		float64(plainTime)/float64(zipTime))
+
+	// --- publish a burst of breaking news asynchronously ----------------
+	// The wire-service feed fans out with CallAsync: every publish is on
+	// the connection before the first reply returns, so the burst costs
+	// one round trip over the slow link instead of one per headline.
+	pubStub := reader.Stub(ref)
+	burst := time.Now()
+	futs := make([]*maqs.Future, 0, 5)
+	for i := 0; i < 5; i++ {
+		e := cdr.NewEncoder(pubStub.ORB().Order())
+		e.WriteString(fmt.Sprintf("breaking %d: async dispatch pipelines the slow link", i))
+		fut, err := pubStub.CallAsync(ctx, "publish", e.Bytes())
+		if err != nil {
+			return err
+		}
+		futs = append(futs, fut)
+	}
+	for _, fut := range futs {
+		if out, err := fut.Wait(ctx); err != nil {
+			return err
+		} else if err := out.Err(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\npublished 5 headlines asynchronously in %v (pipelined on one connection)\n",
+		time.Since(burst).Round(time.Millisecond))
 
 	// --- actuality: poll the top headline under a freshness contract ----
 	cacheStub := reader.Stub(ref)

@@ -227,24 +227,72 @@ type replicaReply struct {
 	err      error
 }
 
-// deliverActive sends to all engaged replicas concurrently, masking
-// failures while at least one succeeds; with voting enabled the reply
-// must be backed by a majority of the engaged replicas.
+// dispatchTo fires one tagged invocation at one replica asynchronously:
+// the request is on the wire when dispatchTo returns, and the returned
+// future resolves when that replica answers. It is sendTo split at the
+// rendezvous, so the active strategy can put every replica's request on
+// its connection back-to-back before waiting for any reply.
+func (m *Mediator) dispatchTo(ctx context.Context, inv *orb.Invocation, endpoint string) (*orb.Future, error) {
+	binding, err := m.ensureBinding(ctx, endpoint)
+	if err != nil {
+		return nil, err
+	}
+	target, err := endpointTarget(m.stub.Target(), endpoint)
+	if err != nil {
+		return nil, err
+	}
+	routed := inv.Clone()
+	routed.Target = target
+	routed.Contexts = routed.Contexts.With(giop.SCQoS, qos.QoSTag{
+		Characteristic: binding.Characteristic,
+		BindingID:      binding.ID,
+		Module:         binding.Module,
+	}.Encode())
+	return m.stub.ORB().InvokeAsync(ctx, routed)
+}
+
+// deliverActive writes to all engaged replicas as parallel asynchronous
+// sends and collects the quorum: the group's latency is the slowest
+// engaged replica (max-of-k) instead of the old goroutine-per-replica
+// scatter's scheduling cost on top of it. Failures are masked while at
+// least one replica succeeds; with voting enabled the reply must be
+// backed by a majority of the engaged replicas.
 func (m *Mediator) deliverActive(ctx context.Context, inv *orb.Invocation, next qos.Next) (*orb.Outcome, error) {
 	engaged := m.engaged()
 	if len(engaged) == 0 {
 		return nil, orb.NewSystemException(orb.ExcTransient, 111, "replica group is empty")
 	}
-	replies := make(chan replicaReply, len(engaged))
-	for _, ep := range engaged {
-		go func(ep string) {
-			out, err := m.sendTo(ctx, inv, ep, next)
-			replies <- replicaReply{endpoint: ep, outcome: out, err: err}
-		}(ep)
+	// Dispatch puts every replica's request on its connection back to
+	// back — the encode+write cost per replica is a couple of
+	// microseconds, so the sends stay inline (a goroutine per dispatch
+	// costs more than it overlaps) — and the replies are then collected
+	// concurrently through the futures: the group's latency is the
+	// slowest replica's round trip (max-of-k), not their sum.
+	futs := make([]*orb.Future, len(engaged))
+	collected := make([]replicaReply, len(engaged))
+	for i, ep := range engaged {
+		collected[i].endpoint = ep
+		fut, err := m.dispatchTo(ctx, inv, ep)
+		if err != nil {
+			if isTransportError(err) || isUnknownBinding(err) {
+				m.dropBinding(ep)
+			}
+			collected[i].err = err
+			continue
+		}
+		futs[i] = fut
 	}
-	collected := make([]replicaReply, 0, len(engaged))
-	for range engaged {
-		collected = append(collected, <-replies)
+	for i := range collected {
+		fut := futs[i]
+		if fut == nil {
+			continue
+		}
+		out, err := fut.Wait(ctx)
+		if err != nil && (isTransportError(err) || isUnknownBinding(err)) {
+			m.dropBinding(collected[i].endpoint)
+		}
+		collected[i].outcome = out
+		collected[i].err = err
 	}
 
 	m.mu.Lock()

@@ -1,0 +1,124 @@
+package giop
+
+import (
+	"fmt"
+	"io"
+
+	"maqs/internal/cdr"
+)
+
+// FrameBatch coalesces several GIOP messages into one contiguous buffer
+// that leaves in a single Write — the writev-style flush behind the DII
+// Multicall. Per-message cost drops to header patching: one syscall, one
+// buffer, N frames.
+//
+// Usage per frame: Begin returns the shared encoder with a 12-octet
+// header reserved and CDR alignment rebased to the new body (each frame's
+// body is a self-contained CDR stream, exactly as with
+// AcquireFrameEncoder); marshal the message; Commit patches the header in
+// place. Flush with WriteTo, re-arm with Reset, recycle with Release.
+//
+// FrameBatch does not fragment: a committed body must fit MaxMessageSize,
+// and callers route bodies that would need fragmentation through the
+// plain WriteFrame path.
+type FrameBatch struct {
+	e     *cdr.Encoder
+	start int // buffer offset of the open frame's header
+	open  bool
+	n     int
+}
+
+// AcquireFrameBatch returns an empty batch over a pooled encoder.
+func AcquireFrameBatch(order cdr.ByteOrder) *FrameBatch {
+	return &FrameBatch{e: AcquireFrameEncoder(order)}
+}
+
+// Begin opens the next frame and returns the encoder positioned at its
+// body. The returned encoder is the batch's shared buffer: use it only
+// until the matching Commit.
+func (b *FrameBatch) Begin() *cdr.Encoder {
+	if b.open {
+		panic("giop: FrameBatch.Begin without Commit")
+	}
+	b.open = true
+	if b.n == 0 && b.e.Len() == HeaderSize {
+		// The first frame's header was already reserved (and alignment
+		// rebased) by AcquireFrameEncoder / Reset; the frame starts at
+		// the buffer start, before that reservation.
+		b.start = 0
+	} else {
+		b.start = b.e.Len()
+		b.e.Skip(HeaderSize)
+	}
+	return b.e
+}
+
+// Commit seals the open frame as a message of the given type, patching
+// its header in place.
+func (b *FrameBatch) Commit(t MsgType) error {
+	if !b.open {
+		panic("giop: FrameBatch.Commit without Begin")
+	}
+	b.open = false
+	frame := b.e.Bytes()[b.start:]
+	body := len(frame) - HeaderSize
+	if body > MaxMessageSize {
+		b.e.Truncate(b.start)
+		return fmt.Errorf("giop: batched message body %d exceeds limit", body)
+	}
+	putHeader(frame, t, b.e.Order(), body, false)
+	observeFrameSize(len(frame))
+	b.n++
+	return nil
+}
+
+// Abort rolls back the open frame, leaving previously committed frames
+// intact.
+func (b *FrameBatch) Abort() {
+	if !b.open {
+		return
+	}
+	b.open = false
+	b.e.Truncate(b.start)
+}
+
+// Frames reports the number of committed frames awaiting flush.
+func (b *FrameBatch) Frames() int { return b.n }
+
+// Len reports the buffered bytes awaiting flush.
+func (b *FrameBatch) Len() int { return b.e.Len() }
+
+// Flush puts every committed frame on the wire in one Write call and
+// re-arms the batch for the next round. Flushing an empty batch is a no-op.
+func (b *FrameBatch) Flush(w io.Writer) error {
+	if b.open {
+		panic("giop: FrameBatch.Flush with an open frame")
+	}
+	if b.n == 0 {
+		return nil
+	}
+	// Write before Reset: re-arming reuses the backing array, and zeroing
+	// the next header reservation would tear the buffer mid-flight.
+	_, err := w.Write(b.e.Bytes())
+	b.Reset()
+	if err != nil {
+		return fmt.Errorf("giop: writing batch: %w", err)
+	}
+	return nil
+}
+
+// Reset discards buffered frames and re-arms the batch.
+func (b *FrameBatch) Reset() {
+	order := b.e.Order()
+	b.e.Reset(order)
+	b.e.Skip(HeaderSize)
+	b.open = false
+	b.n = 0
+}
+
+// Release recycles the underlying encoder. The batch must not be used
+// afterwards.
+func (b *FrameBatch) Release() {
+	b.e.Release()
+	b.e = nil
+}

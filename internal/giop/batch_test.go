@@ -1,0 +1,184 @@
+package giop
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"maqs/internal/cdr"
+)
+
+// drainBatch flushes the batch into a buffer and decodes every frame back.
+func drainBatch(t *testing.T, b *FrameBatch) []*Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := b.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var msgs []*Message
+	for buf.Len() > 0 {
+		msg, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("decoding flushed batch: %v", err)
+		}
+		msgs = append(msgs, msg)
+	}
+	return msgs
+}
+
+// TestFrameBatchMultiFrame packs several request frames into one buffer
+// and verifies each decodes independently — headers patched in place,
+// every body a self-contained CDR stream (the first frame reuses the
+// encoder's pre-reserved header, the rest rebase alignment at Begin).
+func TestFrameBatchMultiFrame(t *testing.T) {
+	for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {
+		b := AcquireFrameBatch(order)
+		const frames = 5
+		for i := 0; i < frames; i++ {
+			e := b.Begin()
+			h := RequestHeader{
+				RequestID:        uint32(100 + i),
+				ResponseExpected: true,
+				ObjectKey:        []byte("key"),
+				Operation:        fmt.Sprintf("op-%d", i),
+			}
+			h.Marshal(e)
+			e.WriteString(fmt.Sprintf("body %d", i))
+			if err := b.Commit(MsgRequest); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if b.Frames() != frames {
+			t.Fatalf("Frames() = %d, want %d", b.Frames(), frames)
+		}
+		msgs := drainBatch(t, b)
+		if len(msgs) != frames {
+			t.Fatalf("decoded %d frames, want %d", len(msgs), frames)
+		}
+		for i, msg := range msgs {
+			if msg.Type != MsgRequest || msg.Order != order {
+				t.Fatalf("frame %d: type %v order %v", i, msg.Type, msg.Order)
+			}
+			d := msg.Decoder()
+			h, err := UnmarshalRequestHeader(d)
+			if err != nil {
+				t.Fatalf("frame %d header: %v", i, err)
+			}
+			if h.RequestID != uint32(100+i) || h.Operation != fmt.Sprintf("op-%d", i) {
+				t.Fatalf("frame %d header = %+v", i, h)
+			}
+			body, err := d.ReadString()
+			if err != nil || body != fmt.Sprintf("body %d", i) {
+				t.Fatalf("frame %d body = %q, %v", i, body, err)
+			}
+		}
+		b.Release()
+	}
+}
+
+// TestFrameBatchAbort rolls back an open frame and leaves its committed
+// predecessors intact.
+func TestFrameBatchAbort(t *testing.T) {
+	b := AcquireFrameBatch(cdr.BigEndian)
+	defer b.Release()
+
+	e := b.Begin()
+	e.WriteString("kept")
+	if err := b.Commit(MsgRequest); err != nil {
+		t.Fatal(err)
+	}
+	lenAfterFirst := b.Len()
+
+	e = b.Begin()
+	e.WriteString("discarded half-marshalled frame")
+	b.Abort()
+	if b.Len() != lenAfterFirst {
+		t.Fatalf("Abort left %d bytes, want %d", b.Len(), lenAfterFirst)
+	}
+	if b.Frames() != 1 {
+		t.Fatalf("Frames() = %d after abort, want 1", b.Frames())
+	}
+	// Aborting with nothing open is a no-op.
+	b.Abort()
+
+	msgs := drainBatch(t, b)
+	if len(msgs) != 1 {
+		t.Fatalf("decoded %d frames, want 1", len(msgs))
+	}
+	if got, err := msgs[0].Decoder().ReadString(); err != nil || got != "kept" {
+		t.Fatalf("surviving frame = %q, %v", got, err)
+	}
+}
+
+// TestFrameBatchOversizeCommit rejects a body over MaxMessageSize and
+// truncates it from the buffer, so the batch stays flushable.
+func TestFrameBatchOversizeCommit(t *testing.T) {
+	b := AcquireFrameBatch(cdr.BigEndian)
+	defer b.Release()
+
+	e := b.Begin()
+	e.WriteString("fits")
+	if err := b.Commit(MsgRequest); err != nil {
+		t.Fatal(err)
+	}
+	lenAfterFirst := b.Len()
+
+	e = b.Begin()
+	e.WriteOctets(make([]byte, MaxMessageSize+1))
+	if err := b.Commit(MsgRequest); err == nil {
+		t.Fatal("oversize body committed")
+	}
+	if b.Len() != lenAfterFirst {
+		t.Fatalf("failed commit left %d bytes, want %d", b.Len(), lenAfterFirst)
+	}
+	if b.Frames() != 1 {
+		t.Fatalf("Frames() = %d, want 1", b.Frames())
+	}
+	if msgs := drainBatch(t, b); len(msgs) != 1 {
+		t.Fatalf("decoded %d frames, want 1", len(msgs))
+	}
+}
+
+// TestFrameBatchResetAndReuse flushes one round and re-arms for a second:
+// the first frame of each round starts at the buffer start with the
+// pre-reserved header.
+func TestFrameBatchResetAndReuse(t *testing.T) {
+	b := AcquireFrameBatch(cdr.BigEndian)
+	defer b.Release()
+
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 2; i++ {
+			e := b.Begin()
+			e.WriteString(fmt.Sprintf("round %d frame %d", round, i))
+			if err := b.Commit(MsgRequest); err != nil {
+				t.Fatal(err)
+			}
+		}
+		msgs := drainBatch(t, b)
+		if len(msgs) != 2 {
+			t.Fatalf("round %d: decoded %d frames, want 2", round, len(msgs))
+		}
+		for i, msg := range msgs {
+			got, err := msg.Decoder().ReadString()
+			if err != nil || got != fmt.Sprintf("round %d frame %d", round, i) {
+				t.Fatalf("round %d frame %d = %q, %v", round, i, got, err)
+			}
+		}
+		if b.Frames() != 0 || b.Len() != HeaderSize {
+			t.Fatalf("round %d: batch not re-armed (frames %d, len %d)", round, b.Frames(), b.Len())
+		}
+	}
+}
+
+// TestFrameBatchEmptyFlush is a no-op and writes nothing.
+func TestFrameBatchEmptyFlush(t *testing.T) {
+	b := AcquireFrameBatch(cdr.BigEndian)
+	defer b.Release()
+	var buf bytes.Buffer
+	if err := b.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty flush wrote %d bytes", buf.Len())
+	}
+}

@@ -41,6 +41,7 @@ func summarize(s HistSnapshot) LatencySummary {
 type ClassReport struct {
 	Class          string `json:"class"`
 	Operation      string `json:"operation"`
+	Mode           string `json:"mode,omitempty"`
 	Characteristic string `json:"characteristic,omitempty"`
 	Scheduled      uint64 `json:"scheduled"`
 	Completed      uint64 `json:"completed"`
@@ -120,6 +121,7 @@ func (c *classRun) report(elapsed time.Duration) ClassReport {
 	cr := ClassReport{
 		Class:          c.scn.Class,
 		Operation:      c.scn.Operation,
+		Mode:           c.scn.Mode,
 		Characteristic: c.scn.Characteristic,
 		Scheduled:      c.scheduled.Load(),
 		Completed:      c.completed.Load(),
@@ -130,7 +132,11 @@ func (c *classRun) report(elapsed time.Duration) ClassReport {
 		Service:        summarize(c.service.Snapshot()),
 		SLO:            c.sloObjectives(),
 	}
-	if secs := elapsed.Seconds(); secs > 0 {
+	span := c.elapsed
+	if span <= 0 {
+		span = elapsed
+	}
+	if secs := span.Seconds(); secs > 0 {
 		cr.ThroughputRPS = float64(cr.Completed) / secs
 	}
 	c.errMu.Lock()
@@ -228,12 +234,12 @@ func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
 // concurrently with a run.
 func (r *Runner) Status() any {
 	type classStatus struct {
-		Class         string         `json:"class"`
-		Scheduled     uint64         `json:"scheduled"`
-		Completed     uint64         `json:"completed"`
-		Errors        uint64         `json:"errors"`
-		WindowRPS     float64        `json:"window_rps"`
-		OverallRPS    float64        `json:"overall_rps"`
+		Class         string                   `json:"class"`
+		Scheduled     uint64                   `json:"scheduled"`
+		Completed     uint64                   `json:"completed"`
+		Errors        uint64                   `json:"errors"`
+		WindowRPS     float64                  `json:"window_rps"`
+		OverallRPS    float64                  `json:"overall_rps"`
 		Latency       LatencySummary           `json:"latency"`
 		Service       LatencySummary           `json:"service"`
 		BacklogedJobs int                      `json:"backlogged_jobs"`

@@ -80,6 +80,12 @@ type classRun struct {
 	// lastCompleted/lastAt let the reporter compute windowed throughput.
 	lastCompleted uint64
 	lastAt        time.Time
+
+	// elapsed is the class's own schedule-start-to-last-completion span,
+	// set once when its workers drain; class throughput divides by it,
+	// not by the whole run's wall clock, so concurrently running classes
+	// that finish at different times report their own rates.
+	elapsed time.Duration
 }
 
 // payloadBlob backs every request payload: a mildly compressible
@@ -138,9 +144,14 @@ func NewRunner(cfg Config) (*Runner, error) {
 		if cfg.Observability != nil && cfg.Observability.Flight != nil {
 			bundle.Flight = cfg.Observability.Flight
 		}
+		conns := cfg.ConnsPerEndpoint
+		if scn.Conns > 0 {
+			conns = scn.Conns
+		}
 		sys, err := maqs.NewSystem(maqs.Options{
 			Transport:        cfg.Transport,
-			ConnsPerEndpoint: cfg.ConnsPerEndpoint,
+			ConnsPerEndpoint: conns,
+			PipelineDepth:    scn.Depth,
 			Observability:    bundle,
 			Resilience:       cfg.Resilience,
 		})
@@ -188,18 +199,25 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 		// Independent deterministic streams per class: schedule and
 		// payload draws never interleave across classes.
 		rng := rand.New(rand.NewPCG(r.cfg.Seed, uint64(i)+1))
-		wg.Add(1)
+		cwg := &sync.WaitGroup{}
+		cwg.Add(1)
 		go func(c *classRun) {
-			defer wg.Done()
+			defer cwg.Done()
 			c.schedule(ctx, rng, r.start)
 		}(c)
 		for w := 0; w < c.scn.Clients; w++ {
-			wg.Add(1)
+			cwg.Add(1)
 			go func(c *classRun, w int) {
-				defer wg.Done()
+				defer cwg.Done()
 				c.work(ctx, r.start, w)
 			}(c, w)
 		}
+		wg.Add(1)
+		go func(c *classRun) {
+			defer wg.Done()
+			cwg.Wait()
+			c.elapsed = time.Since(r.start)
+		}(c)
 	}
 
 	stopSummary := make(chan struct{})
@@ -348,7 +366,16 @@ func (c *classRun) schedule(ctx context.Context, rng *rand.Rand, start time.Time
 // work is one client identity: it takes the next intended request, waits
 // for its schedule time, sends, and records both the CO-correct latency
 // (from the intended time) and the service latency (from the send).
+// Pipelined and batched scenarios dispatch through their own loops.
 func (c *classRun) work(ctx context.Context, start time.Time, id int) {
+	switch c.scn.Mode {
+	case "pipelined":
+		c.workPipelined(ctx, start, id)
+		return
+	case "batched":
+		c.workBatched(ctx, start, id)
+		return
+	}
 	stub := c.stubs[id]
 	order := c.sys.ORB.Order()
 	for jb := range c.jobs {
@@ -372,6 +399,152 @@ func (c *classRun) work(ctx context.Context, start time.Time, id int) {
 			c.recordError(err)
 		}
 	}
+}
+
+// record accounts one finished request.
+func (c *classRun) record(intended, sent, now time.Time, out *orb.Outcome, err error) {
+	c.service.Record(now.Sub(sent))
+	c.corrected.Record(now.Sub(intended))
+	c.completed.Add(1)
+	if err == nil && out != nil {
+		err = out.Err()
+	}
+	if err != nil {
+		c.failed.Add(1)
+		c.recordError(err)
+	}
+}
+
+// pendingCall carries one in-flight asynchronous request from the
+// dispatching identity to its reply collector.
+type pendingCall struct {
+	fut      *orb.Future
+	intended time.Time
+	sent     time.Time
+}
+
+// workPipelined is one identity in pipelined mode: requests dispatch with
+// CallAsync at their intended times — up to Depth in flight — while a
+// companion collector goroutine waits the futures out, so a slow reply
+// never blocks the send side of the pipe (the ORB's per-connection
+// PipelineDepth window supplies the backpressure).
+func (c *classRun) workPipelined(ctx context.Context, start time.Time, id int) {
+	stub := c.stubs[id]
+	order := c.sys.ORB.Order()
+	depth := c.scn.Depth
+	if depth <= 0 {
+		depth = 32
+	}
+	pend := make(chan pendingCall, depth)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for p := range pend {
+			out, err := p.fut.Wait(ctx)
+			c.record(p.intended, p.sent, time.Now(), out, err)
+		}
+	}()
+	for jb := range c.jobs {
+		select {
+		case <-ctx.Done():
+			close(pend)
+			<-done
+			return
+		default:
+		}
+		intended := start.Add(jb.off)
+		if d := time.Until(intended); d > 0 {
+			time.Sleep(d)
+		}
+		sent := time.Now()
+		fut, err := stub.CallAsync(ctx, c.scn.Operation, encodePayload(order, int(jb.size)))
+		if err != nil {
+			c.record(intended, sent, time.Now(), nil, err)
+			continue
+		}
+		pend <- pendingCall{fut: fut, intended: intended, sent: sent}
+	}
+	close(pend)
+	<-done
+}
+
+// workBatched is one identity in batched mode: every request that is due
+// joins the current Multicall batch; the batch flushes when it reaches
+// Batch elements or when no further request is due yet. Under a
+// backlogged schedule this converges to full batches — one coalesced
+// flush per Batch requests.
+func (c *classRun) workBatched(ctx context.Context, start time.Time, id int) {
+	stub := c.stubs[id]
+	order := c.sys.ORB.Order()
+	batch := c.scn.Batch
+	if batch <= 0 {
+		batch = 16
+	}
+	argsList := make([][]byte, 0, batch)
+	intendeds := make([]time.Time, 0, batch)
+
+	flush := func() {
+		if len(argsList) == 0 {
+			return
+		}
+		sent := time.Now()
+		res := stub.Multicall(ctx, c.scn.Operation, argsList)
+		now := time.Now()
+		for i, r := range res {
+			c.record(intendeds[i], sent, now, r.Outcome, r.Err)
+		}
+		argsList = argsList[:0]
+		intendeds = intendeds[:0]
+	}
+
+	var carry *job
+	for {
+		var jb job
+		if carry != nil {
+			jb, carry = *carry, nil
+		} else {
+			var ok bool
+			if jb, ok = <-c.jobs; !ok {
+				break
+			}
+		}
+		select {
+		case <-ctx.Done():
+			flush()
+			return
+		default:
+		}
+		intended := start.Add(jb.off)
+		if d := time.Until(intended); d > 0 {
+			time.Sleep(d)
+		}
+		argsList = append(argsList, encodePayload(order, int(jb.size)))
+		intendeds = append(intendeds, intended)
+
+		// Greedily coalesce every already-due request; stop at the batch
+		// cap, at a request whose intended time is still ahead (it must
+		// not be sent early), or when the queue runs dry.
+	fill:
+		for len(argsList) < batch {
+			select {
+			case next, ok := <-c.jobs:
+				if !ok {
+					flush()
+					return
+				}
+				if time.Until(start.Add(next.off)) > 0 {
+					carry = &next
+					break fill
+				}
+				argsList = append(argsList, encodePayload(order, int(next.size)))
+				intendeds = append(intendeds, start.Add(next.off))
+			default:
+				break fill
+			}
+		}
+		flush()
+	}
+	flush()
 }
 
 func (c *classRun) recordError(err error) {

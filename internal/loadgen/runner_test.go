@@ -306,3 +306,103 @@ func TestPresets(t *testing.T) {
 		t.Fatal("unknown preset must return nil")
 	}
 }
+
+// TestRunnerPipelinedAndBatchedModes drives the same workload through the
+// three issue modes on one connection each: all scheduled requests must
+// complete error-free, and the report must label each class's mode.
+func TestRunnerPipelinedAndBatchedModes(t *testing.T) {
+	ref, transport := newLoadWorld(t, echoServant{}, false)
+	runner, err := NewRunner(Config{
+		Target:    ref,
+		Transport: transport,
+		Seed:      7,
+		Scenarios: []Scenario{
+			{
+				Class:    "sequential",
+				Requests: 200,
+				Clients:  1,
+				Conns:    1,
+				Arrival:  ArrivalSpec{Kind: "uniform", Rate: 20000},
+				Payload:  PayloadSpec{Kind: "fixed", Size: 32},
+			},
+			{
+				Class:    "pipelined",
+				Requests: 600,
+				Clients:  1,
+				Conns:    1,
+				Mode:     "pipelined",
+				Depth:    32,
+				Arrival:  ArrivalSpec{Kind: "uniform", Rate: 20000},
+				Payload:  PayloadSpec{Kind: "fixed", Size: 32},
+			},
+			{
+				Class:    "batched",
+				Requests: 600,
+				Clients:  1,
+				Conns:    1,
+				Mode:     "batched",
+				Batch:    16,
+				Arrival:  ArrivalSpec{Kind: "uniform", Rate: 20000},
+				Payload:  PayloadSpec{Kind: "fixed", Size: 32},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+	rep, err := runner.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Classes) != 3 {
+		t.Fatalf("classes = %d", len(rep.Classes))
+	}
+	for _, c := range rep.Classes {
+		want := uint64(600)
+		mode := c.Class // class names mirror their modes here
+		if c.Class == "sequential" {
+			want = 200
+			mode = "sync"
+		}
+		if c.Scheduled != want || c.Completed != want {
+			t.Fatalf("class %s: scheduled %d completed %d, want %d", c.Class, c.Scheduled, c.Completed, want)
+		}
+		if c.Errors != 0 {
+			t.Fatalf("class %s: %d errors (%s)", c.Class, c.Errors, c.ErrKindsString())
+		}
+		if c.Mode != mode {
+			t.Fatalf("class %s: mode %q, want %q", c.Class, c.Mode, mode)
+		}
+		if c.Latency.Count != want || c.ThroughputRPS <= 0 {
+			t.Fatalf("class %s: latency count %d throughput %g", c.Class, c.Latency.Count, c.ThroughputRPS)
+		}
+	}
+}
+
+// TestScenarioModeValidation rejects unknown modes and negative knobs.
+func TestScenarioModeValidation(t *testing.T) {
+	base := Scenario{
+		Class:    "x",
+		Requests: 1,
+		Arrival:  ArrivalSpec{Kind: "uniform", Rate: 1},
+	}
+	bad := base
+	bad.Mode = "turbo"
+	if err := bad.validate(); err == nil || !strings.Contains(err.Error(), "unknown mode") {
+		t.Fatalf("mode validation: %v", err)
+	}
+	neg := base
+	neg.Depth = -1
+	if err := neg.validate(); err == nil {
+		t.Fatal("negative depth accepted")
+	}
+	ok := base
+	ok.Mode = "pipelined"
+	if err := ok.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := ok.withDefaults(); d.Depth != 32 {
+		t.Fatalf("pipelined default depth = %d", d.Depth)
+	}
+}

@@ -28,6 +28,24 @@ type Scenario struct {
 	Arrival ArrivalSpec `json:"arrival"`
 	// Payload is the request size mix (default: fixed 0 bytes).
 	Payload PayloadSpec `json:"payload,omitempty"`
+	// Mode selects how each identity issues its requests:
+	//
+	//   - "sync" (default): one blocking call at a time per identity.
+	//   - "pipelined": CallAsync keeps up to Depth requests in flight per
+	//     identity; replies are collected out of order.
+	//   - "batched": due requests coalesce into Multicall batches of up
+	//     to Batch elements — one flush per batch.
+	Mode string `json:"mode,omitempty"`
+	// Depth is the pipelined mode's in-flight window. It is also
+	// installed as the class ORB's PipelineDepth, so every connection of
+	// the stripe bounds its outstanding requests (default 32).
+	Depth int `json:"depth,omitempty"`
+	// Batch caps the batched mode's Multicall size (default 16).
+	Batch int `json:"batch,omitempty"`
+	// Conns overrides the run's ConnsPerEndpoint for this class
+	// (0: inherit), so a single scenario set can compare per-connection
+	// behaviour at different stripe widths.
+	Conns int `json:"conns,omitempty"`
 	// Characteristic, when set, is negotiated per identity before the
 	// schedule starts ("Compression", "Encryption", ...), making the
 	// class's traffic travel QoS-tagged — the server's per-class
@@ -66,6 +84,14 @@ func (s Scenario) validate() error {
 	if _, err := newPayload(s.Payload); err != nil {
 		return fmt.Errorf("scenario %q: %w", s.Class, err)
 	}
+	switch s.Mode {
+	case "", "sync", "pipelined", "batched":
+	default:
+		return fmt.Errorf("loadgen: scenario %q: unknown mode %q (want sync, pipelined or batched)", s.Class, s.Mode)
+	}
+	if s.Depth < 0 || s.Batch < 0 || s.Conns < 0 {
+		return fmt.Errorf("loadgen: scenario %q: depth, batch and conns must be >= 0", s.Class)
+	}
 	if s.SLO != nil {
 		if s.SLO.MaxRTTMs < 0 {
 			return fmt.Errorf("loadgen: scenario %q: slo max_rtt_ms must be >= 0", s.Class)
@@ -84,6 +110,15 @@ func (s Scenario) withDefaults() Scenario {
 	}
 	if s.Clients <= 0 {
 		s.Clients = 64
+	}
+	if s.Mode == "" {
+		s.Mode = "sync"
+	}
+	if s.Mode == "pipelined" && s.Depth <= 0 {
+		s.Depth = 32
+	}
+	if s.Mode == "batched" && s.Batch <= 0 {
+		s.Batch = 16
 	}
 	return s
 }
@@ -115,6 +150,11 @@ func LoadScenarios(path string) ([]Scenario, error) {
 //   - "default": the trajectory run — three classes (interactive Poisson,
 //     bulk bursty heavy-tailed, gold with negotiated Compression),
 //     ≥100k requests total at a combined ~6.8k req/s.
+//   - "pipeline": the per-connection throughput comparison behind
+//     BENCH_9.json — sequential, pipelined and batched small-payload
+//     echo classes, each with a single identity on a single connection
+//     under the same saturating schedule, so requests/sec per
+//     connection isolates what pipelining and batching buy.
 func Preset(name string) []Scenario {
 	switch name {
 	case "smoke":
@@ -163,6 +203,49 @@ func Preset(name string) []Scenario {
 				Payload:        PayloadSpec{Kind: "fixed", Size: 512},
 				Characteristic: "Compression",
 				Params:         map[string]float64{"level": 6, "max_rtt_ms": 400},
+			},
+		}
+	case "pipeline":
+		// One identity on one connection per class: the sequential class
+		// is RTT-bound (one outstanding request), the pipelined and
+		// batched classes keep a window in flight over the same single
+		// connection. The saturating arrival rate backs all three up, so
+		// ThroughputRPS measures per-connection capacity, not the
+		// schedule.
+		saturate := ArrivalSpec{Kind: "uniform", Rate: 200000}
+		payload := PayloadSpec{Kind: "fixed", Size: 64}
+		return []Scenario{
+			{
+				// Fewer requests than its pipelined peers: the class is
+				// RTT-bound at one outstanding request, and throughput is
+				// a rate — a shorter schedule measures it just as well
+				// without stretching the run.
+				Class:    "sequential",
+				Requests: 3000,
+				Clients:  1,
+				Conns:    1,
+				Arrival:  saturate,
+				Payload:  payload,
+			},
+			{
+				Class:    "pipelined",
+				Requests: 20000,
+				Clients:  1,
+				Conns:    1,
+				Mode:     "pipelined",
+				Depth:    64,
+				Arrival:  saturate,
+				Payload:  payload,
+			},
+			{
+				Class:    "batched",
+				Requests: 20000,
+				Clients:  1,
+				Conns:    1,
+				Mode:     "batched",
+				Batch:    32,
+				Arrival:  saturate,
+				Payload:  payload,
 			},
 		}
 	default:

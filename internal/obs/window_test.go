@@ -10,9 +10,9 @@ import (
 // fakeClock drives a WindowCounter deterministically.
 type fakeClock struct{ sec atomic.Int64 }
 
-func (c *fakeClock) now() int64        { return c.sec.Load() }
-func (c *fakeClock) advance(n int64)   { c.sec.Add(n) }
-func (c *fakeClock) set(sec int64)     { c.sec.Store(sec) }
+func (c *fakeClock) now() int64               { return c.sec.Load() }
+func (c *fakeClock) advance(n int64)          { c.sec.Add(n) }
+func (c *fakeClock) set(sec int64)            { c.sec.Store(sec) }
 func (c *fakeClock) install(w *WindowCounter) { w.now = c.now }
 
 func TestWindowCounterSumWindows(t *testing.T) {

@@ -1,0 +1,299 @@
+package orb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"maqs/internal/cdr"
+	"maqs/internal/netsim"
+)
+
+func TestInvokeAsyncEcho(t *testing.T) {
+	w := newWorld(t)
+	fut, err := w.client.InvokeAsync(context.Background(), echoInvocation(w.client, w.ref, "hello", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := fut.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := out.Decoder().ReadString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "hello" {
+		t.Fatalf("echo = %q", got)
+	}
+}
+
+func TestInvokeAsyncDonePollProtocol(t *testing.T) {
+	w := newWorld(t)
+	fut, err := w.client.InvokeAsync(context.Background(), echoInvocation(w.client, w.ref, "poll", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fut.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("future never completed")
+	}
+	if err := fut.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fut.Outcome().Decoder().ReadString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "poll" {
+		t.Fatalf("echo = %q", got)
+	}
+	fut.Release()
+}
+
+// jitterEcho echoes its string argument after a payload-derived delay, so
+// replies pipelined on one connection complete out of order.
+type jitterEcho struct{}
+
+func (jitterEcho) Invoke(req *ServerRequest) error {
+	msg, err := req.In().ReadString()
+	if err != nil {
+		return err
+	}
+	var h uint32
+	for _, c := range []byte(msg) {
+		h = h*31 + uint32(c)
+	}
+	time.Sleep(time.Duration(h%8) * time.Millisecond)
+	req.Out.WriteString(msg)
+	return nil
+}
+
+// TestPipelinedOutOfOrderReplies keeps 512 concurrent requests in flight
+// on a single connection (one stripe slot) while the servant scrambles
+// completion order; every future must resolve to its own payload.
+func TestPipelinedOutOfOrderReplies(t *testing.T) {
+	n := netsim.NewNetwork()
+	n.Seed(1)
+	n.SetDefaultLink(netsim.Link{Latency: 100 * time.Microsecond, Jitter: 400 * time.Microsecond})
+	server := New(Options{Transport: n.Host("server")})
+	if err := server.Listen("server:9300"); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := server.Adapter().Activate("jitter", "IDL:test/Jitter:1.0", jitterEcho{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := New(Options{Transport: n.Host("client"), ConnsPerEndpoint: 1, PipelineDepth: 512})
+	t.Cleanup(func() {
+		client.Shutdown()
+		server.Shutdown()
+	})
+
+	const calls = 512
+	ctx := context.Background()
+	futs := make([]*Future, calls)
+	for i := range futs {
+		fut, err := client.InvokeAsync(ctx, echoInvocation(client, ref, fmt.Sprintf("req-%04d", i), false))
+		if err != nil {
+			t.Fatalf("dispatch %d: %v", i, err)
+		}
+		futs[i] = fut
+	}
+	for i, fut := range futs {
+		out, err := fut.Wait(ctx)
+		if err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+		if err := out.Err(); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		got, err := out.Decoder().ReadString()
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("req-%04d", i); got != want {
+			t.Fatalf("reply %d mismatched: got %q want %q", i, got, want)
+		}
+	}
+}
+
+// TestConnTeardownFailsPendingFutures crashes the server host while a
+// window of slow calls is in flight: every pending future must resolve
+// promptly with a transport error — no Wait may hang on a dead
+// connection.
+func TestConnTeardownFailsPendingFutures(t *testing.T) {
+	n := netsim.NewNetwork()
+	n.Seed(7)
+	server := New(Options{Transport: n.Host("server")})
+	if err := server.Listen("server:9301"); err != nil {
+		t.Fatal(err)
+	}
+	servant := &echoServant{}
+	ref, err := server.Adapter().Activate("echo", "IDL:test/Echo:1.0", servant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := New(Options{Transport: n.Host("client"), PipelineDepth: 64})
+	t.Cleanup(func() {
+		client.Shutdown()
+		server.Shutdown()
+	})
+
+	ctx := context.Background()
+	const calls = 32
+	futs := make([]*Future, calls)
+	for i := range futs {
+		e := cdr.NewEncoder(client.Order())
+		e.WriteString("take your time")
+		fut, err := client.InvokeAsync(ctx, &Invocation{
+			Target: ref, Operation: "slow", Args: e.Bytes(),
+			ResponseExpected: true, Order: client.Order(),
+		})
+		if err != nil {
+			t.Fatalf("dispatch %d: %v", i, err)
+		}
+		futs[i] = fut
+	}
+	n.Crash("server")
+
+	deadline := time.Now().Add(5 * time.Second)
+	for i, fut := range futs {
+		waitCtx, cancel := context.WithDeadline(ctx, deadline)
+		_, err := fut.Wait(waitCtx)
+		cancel()
+		if err == nil {
+			t.Fatalf("future %d resolved without error after crash", i)
+		}
+		var sysErr *SystemException
+		if !errors.As(err, &sysErr) || sysErr.Name != ExcCommFailure {
+			t.Fatalf("future %d: want COMM_FAILURE, got %v", i, err)
+		}
+	}
+	if time.Now().After(deadline) {
+		t.Fatal("pending futures were not failed promptly")
+	}
+}
+
+// TestRegisterOnDeadConnReturnsWindowSlot exercises the register error
+// path: once the connection's sticky error is set, sendAsync must fail
+// fast, return its window slot, and leave the window empty.
+func TestRegisterOnDeadConnReturnsWindowSlot(t *testing.T) {
+	w := newWorld(t)
+	// A first call materialises the pooled connection.
+	if _, err := callEcho(t, w.client, w.ref, "warm"); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := w.client.getConn(w.ref.Profile.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.window = make(chan struct{}, 1)
+	conn.close(NewSystemException(ExcCommFailure, 99, "induced teardown"))
+
+	if _, err := conn.sendAsync(context.Background(), echoInvocation(w.client, w.ref, "x", false), acquireFuture()); err == nil {
+		t.Fatal("sendAsync on a dead connection succeeded")
+	} else if !isNotSent(err) {
+		t.Fatalf("want NotSentError, got %v", err)
+	}
+	if got := len(conn.window); got != 0 {
+		t.Fatalf("window slot leaked: %d held after failed register", got)
+	}
+	// The pool must have dropped the dead connection: the next call dials
+	// fresh and succeeds.
+	if got, err := callEcho(t, w.client, w.ref, "recovered"); err != nil || got != "recovered" {
+		t.Fatalf("reconnect after teardown: %q, %v", got, err)
+	}
+}
+
+// TestPipelineWindowBackpressure fills a depth-2 window with slow calls;
+// a third dispatch must block until its context deadline and fail with
+// the window-full timeout, without disturbing the in-flight pair.
+func TestPipelineWindowBackpressure(t *testing.T) {
+	n := netsim.NewNetwork()
+	server := New(Options{Transport: n.Host("server")})
+	if err := server.Listen("server:9302"); err != nil {
+		t.Fatal(err)
+	}
+	servant := &echoServant{}
+	ref, err := server.Adapter().Activate("echo", "IDL:test/Echo:1.0", servant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := New(Options{Transport: n.Host("client"), PipelineDepth: 2})
+	t.Cleanup(func() {
+		client.Shutdown()
+		server.Shutdown()
+	})
+
+	ctx := context.Background()
+	slow := func() *Invocation {
+		e := cdr.NewEncoder(client.Order())
+		e.WriteString("busy")
+		return &Invocation{
+			Target: ref, Operation: "slow", Args: e.Bytes(),
+			ResponseExpected: true, Order: client.Order(),
+		}
+	}
+	first, err := client.InvokeAsync(ctx, slow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := client.InvokeAsync(ctx, slow())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blockedCtx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	if _, err := client.InvokeAsync(blockedCtx, slow()); err == nil {
+		t.Fatal("third dispatch fit into a depth-2 window")
+	} else if !isNotSent(err) {
+		t.Fatalf("window-full failure must be retry-safe, got %v", err)
+	}
+
+	for i, fut := range []*Future{first, second} {
+		out, err := fut.Wait(ctx)
+		if err != nil {
+			t.Fatalf("in-flight call %d: %v", i, err)
+		}
+		if err := out.Err(); err != nil {
+			t.Fatalf("in-flight call %d: %v", i, err)
+		}
+	}
+}
+
+// TestAsyncWaitDeadlineAbandons bounds Wait by the caller's deadline; the
+// abandoned call must not poison the connection for later traffic.
+func TestAsyncWaitDeadlineAbandons(t *testing.T) {
+	w := newWorld(t)
+	e := cdr.NewEncoder(w.client.Order())
+	e.WriteString("later")
+	fut, err := w.client.InvokeAsync(context.Background(), &Invocation{
+		Target: w.ref, Operation: "slow", Args: e.Bytes(),
+		ResponseExpected: true, Order: w.client.Order(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := fut.Wait(ctx); err == nil {
+		t.Fatal("Wait outlived its deadline")
+	} else {
+		var sysErr *SystemException
+		if !errors.As(err, &sysErr) || sysErr.Name != ExcTimeout {
+			t.Fatalf("want TIMEOUT, got %v", err)
+		}
+	}
+	// The connection must still serve the next call.
+	if got, err := callEcho(t, w.client, w.ref, "still alive"); err != nil || got != "still alive" {
+		t.Fatalf("call after abandoned wait: %q, %v", got, err)
+	}
+}

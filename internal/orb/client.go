@@ -82,8 +82,14 @@ func (m *iiopModule) Send(ctx context.Context, inv *Invocation) (*Outcome, error
 // leave it to the garbage collector — a racing reply may still be sent to
 // ch, and pooling a channel with a stale Outcome buffered would hand that
 // Outcome to an unrelated future request.
+//
+// When fut is non-nil the registration belongs to an asynchronous call:
+// the read loop resolves the future instead of sending on ch, and the
+// pendingReply itself (whose channel was never exposed) goes straight
+// back to the pool.
 type pendingReply struct {
-	ch chan *Outcome
+	ch  chan *Outcome
+	fut *Future
 }
 
 // pendingPoolGets/Misses are process-global pool telemetry (a Get that
@@ -120,8 +126,17 @@ type clientConn struct {
 	// uses it for least-pending connection selection.
 	inFlight atomic.Int32
 	// pendingGauge mirrors inFlight into the per-endpoint stripe depth
-	// gauge, resolved once at creation (nil without observability).
-	pendingGauge *obs.Gauge
+	// gauge; inflightGauge is its per-stripe twin (the pipelining depth
+	// signal). Both are resolved once at creation (nil without
+	// observability).
+	pendingGauge  *obs.Gauge
+	inflightGauge *obs.Gauge
+
+	// window, when non-nil, is the pipelining in-flight limiter: a slot
+	// is acquired before a reply-expecting request registers and released
+	// when its registration ends (reply matched, unregistered, or the
+	// connection died). Capacity is Options.PipelineDepth.
+	window chan struct{}
 
 	mu            sync.Mutex
 	nextID        uint32
@@ -131,27 +146,71 @@ type clientConn struct {
 }
 
 func newClientConn(o *ORB, addr string, raw net.Conn, slot int) *clientConn {
-	return &clientConn{
+	c := &clientConn{
 		orb:           o,
 		addr:          addr,
 		raw:           raw,
 		slot:          slot,
 		pendingGauge:  o.Metrics().Gauge(`maqs_stripe_pending{endpoint="` + addr + `"}`),
+		inflightGauge: o.Metrics().Gauge(`maqs_pipeline_inflight{endpoint="` + addr + `",stripe="` + strconv.Itoa(slot) + `"}`),
 		pending:       make(map[uint32]*pendingReply),
 		pendingLocate: make(map[uint32]chan giop.LocateStatus),
 	}
+	if d := o.opts.PipelineDepth; d > 0 {
+		c.window = make(chan struct{}, d)
+	}
+	return c
 }
 
-// trackPending shifts both the stripe-selection counter and the exported
-// pending-depth gauge.
+// trackPending shifts the stripe-selection counter and both exported
+// depth gauges.
 func (c *clientConn) trackPending(delta int32) {
 	c.inFlight.Add(delta)
 	c.pendingGauge.Add(int64(delta))
+	c.inflightGauge.Add(int64(delta))
+}
+
+// acquireWindow blocks until a pipeline slot is free (no-op when
+// pipelining is unbounded). It must be called without c.mu held: slots
+// are released by the read loop, and blocking under the demux lock would
+// deadlock the connection.
+func (c *clientConn) acquireWindow(ctx context.Context) error {
+	if c.window == nil {
+		return nil
+	}
+	select {
+	case c.window <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case c.window <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		if ctx.Err() == context.DeadlineExceeded {
+			return NewSystemException(ExcTimeout, 7, "pipeline window to %s full past deadline", c.addr)
+		}
+		return ctx.Err()
+	}
+}
+
+// releaseWindow frees n pipeline slots.
+func (c *clientConn) releaseWindow(n int) {
+	if c.window == nil {
+		return
+	}
+	for ; n > 0; n-- {
+		<-c.window
+	}
 }
 
 // register allocates a request id and, when a response is expected, its
-// rendezvous channel.
-func (c *clientConn) register(wantReply bool) (uint32, *pendingReply, error) {
+// rendezvous. A non-nil fut registers an asynchronous call: the read loop
+// will resolve the future instead of the rendezvous channel. The caller
+// must hold a pipeline window slot (acquireWindow) for reply-expecting
+// registrations; register fails fast on a dead connection so the slot can
+// be returned.
+func (c *clientConn) register(wantReply bool, fut *Future) (uint32, *pendingReply, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.err != nil {
@@ -164,6 +223,7 @@ func (c *clientConn) register(wantReply bool) (uint32, *pendingReply, error) {
 	}
 	pendingPoolGets.Add(1)
 	p := pendingPool.Get().(*pendingReply)
+	p.fut = fut
 	c.pending[id] = p
 	c.trackPending(1)
 	return id, p, nil
@@ -171,19 +231,38 @@ func (c *clientConn) register(wantReply bool) (uint32, *pendingReply, error) {
 
 func (c *clientConn) unregister(id uint32) {
 	c.mu.Lock()
-	if _, ok := c.pending[id]; ok {
+	p, ok := c.pending[id]
+	if ok {
 		delete(c.pending, id)
 		c.trackPending(-1)
 	}
 	c.mu.Unlock()
+	if ok {
+		// An abandoned async registration's pendingReply never exposed
+		// its channel; scrub the future reference and recycle it.
+		if p.fut != nil {
+			p.fut = nil
+			pendingPool.Put(p)
+		}
+		c.releaseWindow(1)
+	}
 }
 
 // roundTrip sends the invocation and waits for the reply (unless oneway).
 // It reports the encoded request and reply sizes for accounting.
 func (c *clientConn) roundTrip(ctx context.Context, inv *Invocation) (out *Outcome, sent, recv int, err error) {
-	id, p, err := c.register(inv.ResponseExpected)
+	if inv.ResponseExpected {
+		if werr := c.acquireWindow(ctx); werr != nil {
+			// No slot was taken and nothing was sent.
+			return nil, 0, 0, notSent(werr)
+		}
+	}
+	id, p, err := c.register(inv.ResponseExpected, nil)
 	if err != nil {
 		// The pooled connection was already dead; nothing was sent.
+		if inv.ResponseExpected {
+			c.releaseWindow(1)
+		}
 		return nil, 0, 0, notSent(err)
 	}
 	order := c.orb.opts.Order
@@ -246,6 +325,95 @@ func (c *clientConn) roundTrip(ctx context.Context, inv *Invocation) (out *Outco
 		}
 		return nil, sent, 0, ctx.Err()
 	}
+}
+
+// sendAsync writes the invocation's request frame and returns as soon as
+// it is on the wire; the read loop resolves fut when the reply arrives
+// (out-of-order replies rendezvous through the pending map exactly as
+// concurrent synchronous calls do). It reports the encoded request size
+// for accounting. Backpressure: with Options.PipelineDepth set, sendAsync
+// blocks until the connection's in-flight window has a free slot.
+func (c *clientConn) sendAsync(ctx context.Context, inv *Invocation, fut *Future) (sent int, err error) {
+	if err := c.acquireWindow(ctx); err != nil {
+		return 0, notSent(err)
+	}
+	inv.Stripe = c.slot + 1
+	if fut.fr != nil {
+		fut.rec.Stripe = c.slot
+	}
+	id, _, err := c.register(true, fut)
+	if err != nil {
+		c.releaseWindow(1)
+		return 0, notSent(err)
+	}
+	fut.conn = c
+	fut.id = id
+
+	order := c.orb.opts.Order
+	ob := c.orb.obsState.Load()
+	var encStart time.Time
+	if ob != nil {
+		encStart = time.Now()
+	}
+
+	e := giop.AcquireFrameEncoder(order)
+	h := giop.RequestHeader{
+		Contexts:         inv.Contexts,
+		RequestID:        id,
+		ResponseExpected: true,
+		ObjectKey:        inv.Target.Profile.ObjectKey,
+		Operation:        inv.Operation,
+	}
+	h.Marshal(e)
+	e.WriteOctets(inv.Args)
+	sent = e.Len()
+
+	c.writeMu.Lock()
+	err = giop.WriteFrame(c.raw, giop.MsgRequest, e, c.orb.opts.MaxFragment)
+	c.writeMu.Unlock()
+	e.Release()
+	if err != nil {
+		c.close(NewSystemException(ExcCommFailure, 2, "writing request to %s: %v", c.addr, err))
+		c.unregister(id)
+		return 0, NewSystemException(ExcCommFailure, 2, "writing request to %s: %v", c.addr, err)
+	}
+	if ob != nil {
+		enc := time.Since(encStart)
+		// The reply may already be racing in on the read loop; the stamp
+		// is atomic so a lost sample stays benign.
+		fut.encodeNs.Store(int64(enc))
+		ob.phase(inv.Binding).encode.Observe(enc)
+	}
+	return sent, nil
+}
+
+// sendAsync on the module accounts the request and hands the invocation
+// to the connection layer.
+func (m *iiopModule) sendAsync(ctx context.Context, inv *Invocation, fut *Future) error {
+	ctx, sp := obs.StartChild(ctx, "wire.send")
+	if sp != nil {
+		sp.SetOperation(inv.Operation)
+		inv.Contexts = inv.Contexts.With(giop.SCTrace, sp.Context().Traceparent())
+	}
+	addr := inv.Target.Profile.Addr()
+	conn, err := m.orb.getConn(addr)
+	if err != nil {
+		err = notSent(err)
+		sp.RecordError(err)
+		sp.End()
+		return err
+	}
+	sent, err := conn.sendAsync(ctx, inv, fut)
+	if err == nil {
+		m.requestsSent.Add(1)
+		m.bytesSent.Add(uint64(sent))
+	}
+	if sp != nil {
+		sp.SetAttr("bytes_sent", strconv.Itoa(sent))
+		sp.RecordError(err)
+		sp.End()
+	}
+	return err
 }
 
 // sendCancel notifies the server that the client gave up on a request.
@@ -329,12 +497,24 @@ func (c *clientConn) readLoop() {
 			if !ok {
 				continue // cancelled or unknown
 			}
-			p.ch <- &Outcome{
+			c.releaseWindow(1)
+			out := &Outcome{
 				Status:   h.Status,
 				Data:     append([]byte(nil), data...),
 				Contexts: h.Contexts,
 				Order:    msg.Order,
 			}
+			if fut := p.fut; fut != nil {
+				// Asynchronous call: resolve the future right here (the
+				// hot half of out-of-order reply matching) and recycle
+				// the rendezvous, whose channel was never exposed.
+				p.fut = nil
+				pendingPool.Put(p)
+				c.orb.iiop.bytesRecv.Add(uint64(len(out.Data)))
+				fut.complete(out, nil)
+				continue
+			}
+			p.ch <- out
 		case giop.MsgLocateReply:
 			d := msg.Decoder()
 			h, err := giop.UnmarshalLocateReplyHeader(d)
@@ -379,9 +559,21 @@ func (c *clientConn) close(cause *SystemException) {
 
 	c.raw.Close()
 	c.orb.dropConn(c.addr, c)
+	// Fail every rendezvous promptly — synchronous waiters get the
+	// exceptional outcome on their channel, asynchronous futures are
+	// completed with the cause so no Wait ever hangs on a dead
+	// connection — and return the pipeline window slots the drained
+	// registrations held.
 	for _, p := range pending {
+		if fut := p.fut; fut != nil {
+			p.fut = nil
+			pendingPool.Put(p)
+			fut.complete(nil, cause)
+			continue
+		}
 		p.ch <- OutcomeFromError(cause, c.orb.opts.Order)
 	}
+	c.releaseWindow(len(pending))
 	for _, ch := range locates {
 		ch <- giop.LocateUnknownObject
 	}

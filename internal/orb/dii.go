@@ -44,6 +44,7 @@ type Request struct {
 	contexts   giop.ServiceContextList
 	oneway     bool
 	invoked    bool
+	fut        *Future // set by Send (deferred invocation)
 }
 
 // CreateRequest starts assembling a dynamic request against target.
@@ -80,11 +81,11 @@ func (r *Request) AddContext(id uint32, data []byte) *Request {
 	return r
 }
 
-// Invoke sends the request and decodes the reply. Remote exceptions are
-// returned as *UserException / *SystemException errors.
-func (r *Request) Invoke(ctx context.Context) error {
+// buildInvocation marshals the in/inout arguments and assembles the wire
+// invocation (shared by Invoke, Send and Multicall).
+func (r *Request) buildInvocation() (*Invocation, error) {
 	if r.invoked {
-		return fmt.Errorf("orb: dynamic request %q invoked twice", r.operation)
+		return nil, fmt.Errorf("orb: dynamic request %q invoked twice", r.operation)
 	}
 	r.invoked = true
 
@@ -95,21 +96,72 @@ func (r *Request) Invoke(ctx context.Context) error {
 			continue
 		}
 		if err := a.Value.Marshal(e); err != nil {
-			return NewSystemException(ExcMarshal, 30, "marshalling argument %q of %s: %v", a.Name, r.operation, err)
+			return nil, NewSystemException(ExcMarshal, 30, "marshalling argument %q of %s: %v", a.Name, r.operation, err)
 		}
 	}
-	inv := &Invocation{
+	return &Invocation{
 		Target:           r.target,
 		Operation:        r.operation,
 		Args:             e.Bytes(),
 		Contexts:         r.contexts,
 		ResponseExpected: !r.oneway,
 		Order:            order,
+	}, nil
+}
+
+// Invoke sends the request and decodes the reply. Remote exceptions are
+// returned as *UserException / *SystemException errors.
+func (r *Request) Invoke(ctx context.Context) error {
+	inv, err := r.buildInvocation()
+	if err != nil {
+		return err
 	}
 	out, err := r.orb.Invoke(ctx, inv)
 	if err != nil {
 		return err
 	}
+	return r.decodeReply(out)
+}
+
+// Send dispatches the request asynchronously (the DII's deferred
+// invocation): it returns once the request is handed to the transport.
+// Collect the result with GetResponse (or poll Future).
+func (r *Request) Send(ctx context.Context) error {
+	inv, err := r.buildInvocation()
+	if err != nil {
+		return err
+	}
+	fut, err := r.orb.InvokeAsync(ctx, inv)
+	if err != nil {
+		return err
+	}
+	r.fut = fut
+	return nil
+}
+
+// Future exposes the in-flight rendezvous of a deferred request (nil
+// before Send). The future is consumed by GetResponse; use one or the
+// other.
+func (r *Request) Future() *Future { return r.fut }
+
+// GetResponse waits for a deferred request's reply and decodes it,
+// exactly as a synchronous Invoke would have.
+func (r *Request) GetResponse(ctx context.Context) error {
+	fut := r.fut
+	if fut == nil {
+		return fmt.Errorf("orb: GetResponse on %q before Send", r.operation)
+	}
+	r.fut = nil
+	out, err := fut.Wait(ctx)
+	if err != nil {
+		return err
+	}
+	return r.decodeReply(out)
+}
+
+// decodeReply unpacks the reply body into the result and out/inout
+// arguments.
+func (r *Request) decodeReply(out *Outcome) error {
 	if r.oneway {
 		return nil
 	}
@@ -136,6 +188,47 @@ func (r *Request) Invoke(ctx context.Context) error {
 		r.args[i].Value = v
 	}
 	return nil
+}
+
+// Multicall delivers several dynamic requests as one batched frame
+// sequence per endpoint (single flush — see InvokeBatch) and decodes
+// every reply. The returned slice is positional: element i is the error
+// of reqs[i], nil on success. Failures are independent; one element's
+// dead endpoint or remote exception leaves the others untouched.
+func (o *ORB) Multicall(ctx context.Context, reqs ...*Request) []error {
+	errs := make([]error, len(reqs))
+	invs := make([]*Invocation, len(reqs))
+	for i, r := range reqs {
+		inv, err := r.buildInvocation()
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		invs[i] = inv
+	}
+	// Build the dense batch (skipping elements that failed to marshal)
+	// while keeping result positions stable.
+	dense := make([]*Invocation, 0, len(invs))
+	back := make([]int, 0, len(invs))
+	for i, inv := range invs {
+		if inv == nil {
+			continue
+		}
+		dense = append(dense, inv)
+		back = append(back, i)
+	}
+	if len(dense) == 0 {
+		return errs
+	}
+	for j, res := range o.InvokeBatch(ctx, dense) {
+		i := back[j]
+		if res.Err != nil {
+			errs[i] = res.Err
+			continue
+		}
+		errs[i] = reqs[i].decodeReply(res.Outcome)
+	}
+	return errs
 }
 
 // Result returns the decoded return value (zero Any for void).

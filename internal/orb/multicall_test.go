@@ -1,0 +1,178 @@
+package orb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"maqs/internal/cdr"
+	"maqs/internal/ior"
+)
+
+func multicallInvs(o *ORB, ref *ior.IOR, n int) []*Invocation {
+	invs := make([]*Invocation, n)
+	for i := range invs {
+		invs[i] = echoInvocation(o, ref, fmt.Sprintf("elem-%02d", i), false)
+	}
+	return invs
+}
+
+func TestMulticallEcho(t *testing.T) {
+	w := newWorld(t)
+	invs := multicallInvs(w.client, w.ref, 8)
+	res := w.client.InvokeBatch(context.Background(), invs)
+	if len(res) != len(invs) {
+		t.Fatalf("got %d results for %d elements", len(res), len(invs))
+	}
+	for i, r := range res {
+		if err := r.Failed(); err != nil {
+			t.Fatalf("elem %d: %v", i, err)
+		}
+		got, err := r.Outcome.Decoder().ReadString()
+		if err != nil {
+			t.Fatalf("elem %d decode: %v", i, err)
+		}
+		if want := fmt.Sprintf("elem-%02d", i); got != want {
+			t.Fatalf("elem %d: got %q want %q", i, got, want)
+		}
+	}
+}
+
+// TestMulticallPartialFailure mixes healthy echoes with an operation that
+// raises a system exception: failing elements carry the remote exception
+// positionally while their neighbours succeed.
+func TestMulticallPartialFailure(t *testing.T) {
+	w := newWorld(t)
+	invs := multicallInvs(w.client, w.ref, 5)
+	invs[2] = &Invocation{
+		Target: w.ref, Operation: "fail_system",
+		ResponseExpected: true, Order: w.client.Order(),
+	}
+	res := w.client.InvokeBatch(context.Background(), invs)
+	for i, r := range res {
+		if i == 2 {
+			err := r.Failed()
+			if err == nil {
+				t.Fatal("elem 2 should have failed")
+			}
+			var sysErr *SystemException
+			if !errors.As(err, &sysErr) || sysErr.Name != ExcNoResources {
+				t.Fatalf("elem 2: want NO_RESOURCES, got %v", err)
+			}
+			continue
+		}
+		if err := r.Failed(); err != nil {
+			t.Fatalf("elem %d: %v", i, err)
+		}
+	}
+}
+
+// TestMulticallOnewayElements interleaves oneway notes with
+// reply-expecting echoes in one batch: oneways resolve at flush time,
+// echoes through their futures, and the servant sees every note.
+func TestMulticallOnewayElements(t *testing.T) {
+	w := newWorld(t)
+	var invs []*Invocation
+	for i := 0; i < 6; i++ {
+		if i%2 == 0 {
+			e := cdr.NewEncoder(w.client.Order())
+			e.WriteString(fmt.Sprintf("note-%d", i))
+			invs = append(invs, &Invocation{
+				Target: w.ref, Operation: "note", Args: e.Bytes(),
+				ResponseExpected: false, Order: w.client.Order(),
+			})
+			continue
+		}
+		invs = append(invs, echoInvocation(w.client, w.ref, fmt.Sprintf("echo-%d", i), false))
+	}
+	res := w.client.InvokeBatch(context.Background(), invs)
+	for i, r := range res {
+		if err := r.Failed(); err != nil {
+			t.Fatalf("elem %d: %v", i, err)
+		}
+	}
+	// Oneways carry no reply; poll for their server-side effect.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		w.servant.mu.Lock()
+		n := w.servant.oneways
+		w.servant.mu.Unlock()
+		if n == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("servant saw %d of 3 oneway notes", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestMulticallDeadEndpoint batches against an address nothing listens
+// on: every element must fail retry-safe (NotSentError) — the requests
+// provably never reached a wire.
+func TestMulticallDeadEndpoint(t *testing.T) {
+	w := newWorld(t)
+	ghost := w.ref.Clone()
+	ghost.Profile.Host = "nowhere"
+	invs := multicallInvs(w.client, ghost, 4)
+	res := w.client.InvokeBatch(context.Background(), invs)
+	for i, r := range res {
+		err := r.Failed()
+		if err == nil {
+			t.Fatalf("elem %d succeeded against a dead endpoint", i)
+		}
+		if !isNotSent(err) {
+			t.Fatalf("elem %d: want NotSentError, got %v", i, err)
+		}
+	}
+}
+
+// TestMulticallFragmentationFallback keeps oversized elements off the
+// batch path (FrameBatch cannot fragment): with a small MaxFragment the
+// large element detours through the per-element asynchronous path and
+// still succeeds alongside its batched neighbours.
+func TestMulticallFragmentationFallback(t *testing.T) {
+	w := newWorld(t)
+	w.client.opts.MaxFragment = 1 << 10
+	invs := multicallInvs(w.client, w.ref, 3)
+	big := strings.Repeat("x", 4<<10)
+	invs[1] = echoInvocation(w.client, w.ref, big, false)
+	res := w.client.InvokeBatch(context.Background(), invs)
+	for i, r := range res {
+		if err := r.Failed(); err != nil {
+			t.Fatalf("elem %d: %v", i, err)
+		}
+	}
+	got, err := res[1].Outcome.Decoder().ReadString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != big {
+		t.Fatalf("large element echoed %d bytes, want %d", len(got), len(big))
+	}
+}
+
+// TestMulticallEmptyAndInvalid covers the degenerate inputs: an empty
+// batch returns an empty result set, and an element without a target
+// fails locally without disturbing the rest.
+func TestMulticallEmptyAndInvalid(t *testing.T) {
+	w := newWorld(t)
+	if res := w.client.InvokeBatch(context.Background(), nil); len(res) != 0 {
+		t.Fatalf("empty batch produced %d results", len(res))
+	}
+	invs := multicallInvs(w.client, w.ref, 2)
+	invs = append(invs, &Invocation{Operation: "echo", ResponseExpected: true, Order: w.client.Order()})
+	res := w.client.InvokeBatch(context.Background(), invs)
+	if err := res[0].Failed(); err != nil {
+		t.Fatalf("elem 0: %v", err)
+	}
+	if err := res[1].Failed(); err != nil {
+		t.Fatalf("elem 1: %v", err)
+	}
+	if err := res[2].Failed(); err == nil {
+		t.Fatal("target-less element succeeded")
+	}
+}

@@ -37,6 +37,13 @@ type Options struct {
 	// concurrent callers do not serialise on one connection's write
 	// mutex. 0 or 1 keeps the single multiplexed connection.
 	ConnsPerEndpoint int
+	// PipelineDepth caps the reply-expecting requests in flight on each
+	// connection. Senders — synchronous and asynchronous alike — block
+	// until the window has a free slot, so a pipelining client cannot
+	// bury a server (or blow client memory) with an unbounded backlog.
+	// 0 (the default) leaves the window unbounded. Orthogonal to
+	// ConnsPerEndpoint: the cap is per stripe member.
+	PipelineDepth int
 	// DispatchWorkers bounds concurrent server-side request handlers per
 	// QoS class: each class gets its own queue drained by this many
 	// worker goroutines, and requests arriving at a full queue are shed
@@ -204,6 +211,17 @@ func registerPoolMetrics(r *obs.Registry) {
 		_, misses := PendingPoolStats()
 		return misses
 	})
+	r.CounterFunc("maqs_orb_future_pool_hits_total", func() uint64 {
+		gets, misses := FuturePoolStats()
+		if gets < misses {
+			return 0
+		}
+		return gets - misses
+	})
+	r.CounterFunc("maqs_orb_future_pool_misses_total", func() uint64 {
+		_, misses := FuturePoolStats()
+		return misses
+	})
 	r.CounterFunc("maqs_cdr_encoder_pool_hits_total", func() uint64 {
 		s := cdr.PoolStats()
 		if s.Gets < s.Misses {
@@ -290,6 +308,10 @@ func (o *ORB) Logger() *slog.Logger { return o.opts.Logger }
 
 // Order reports the byte order of the ORB.
 func (o *ORB) Order() cdr.ByteOrder { return o.opts.Order }
+
+// RequestTimeout reports the effective per-call deadline applied when a
+// caller's context carries none.
+func (o *ORB) RequestTimeout() time.Duration { return o.opts.RequestTimeout }
 
 // Adapter returns the object adapter.
 func (o *ORB) Adapter() *Adapter { return o.adapter }

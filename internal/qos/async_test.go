@@ -1,0 +1,199 @@
+package qos
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCallAsyncFeedsObservers verifies the asynchronous stub path keeps
+// the monitoring contract of Call: the installed observers see the
+// completed invocation (operation, RTT, class) once the future resolves.
+func TestCallAsyncFeedsObservers(t *testing.T) {
+	w := newQoSWorld(t, 0)
+	var mu sync.Mutex
+	var seen []Observation
+	w.stub.AddObserver(func(o Observation) {
+		mu.Lock()
+		seen = append(seen, o)
+		mu.Unlock()
+	})
+
+	ctx := context.Background()
+	fut, err := w.stub.CallAsync(ctx, "inc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := fut.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := out.Decoder().ReadLong(); err != nil || v != 1 {
+		t.Fatalf("inc = %d, %v", v, err)
+	}
+
+	// The observer runs on the completing goroutine before the future's
+	// Done channel closes, so it has fired by the time Wait returns.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 1 {
+		t.Fatalf("observers saw %d observations, want 1", len(seen))
+	}
+	o := seen[0]
+	if o.Operation != "inc" || o.Err != nil || o.RTT <= 0 {
+		t.Fatalf("observation = %+v", o)
+	}
+}
+
+// TestCallAsyncMediated routes the asynchronous call through a negotiated
+// binding: the mediator's Pre/PostInvoke bracket must run exactly as on
+// the synchronous path, and the observation carries the characteristic.
+func TestCallAsyncMediated(t *testing.T) {
+	w := newQoSWorld(t, 0)
+	ctx := context.Background()
+	if _, err := w.stub.Negotiate(ctx, &Proposal{Characteristic: "Tracing"}); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var seen []Observation
+	w.stub.AddObserver(func(o Observation) {
+		mu.Lock()
+		seen = append(seen, o)
+		mu.Unlock()
+	})
+
+	fut, err := w.stub.CallAsync(ctx, "inc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := fut.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	w.mediator.mu.Lock()
+	pres, posts := w.mediator.pres, w.mediator.posts
+	w.mediator.mu.Unlock()
+	if pres != 1 || posts != 1 {
+		t.Fatalf("mediator bracket: %d pre, %d post (want 1/1)", pres, posts)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 1 || seen[0].Characteristic != "Tracing" {
+		t.Fatalf("observations = %+v", seen)
+	}
+}
+
+// TestStubMulticall batches N calls through the stub in one flush and
+// checks positional outcomes and the server-side effect count.
+func TestStubMulticall(t *testing.T) {
+	w := newQoSWorld(t, 0)
+	const calls = 6
+	argsList := make([][]byte, calls)
+	res := w.stub.Multicall(context.Background(), "inc", argsList)
+	if len(res) != calls {
+		t.Fatalf("got %d results for %d elements", len(res), calls)
+	}
+	values := make(map[int32]bool)
+	for i, r := range res {
+		if err := r.Failed(); err != nil {
+			t.Fatalf("elem %d: %v", i, err)
+		}
+		v, err := r.Outcome.Decoder().ReadLong()
+		if err != nil {
+			t.Fatalf("elem %d decode: %v", i, err)
+		}
+		if values[v] {
+			t.Fatalf("counter value %d delivered twice", v)
+		}
+		values[v] = true
+	}
+	for v := int32(1); v <= calls; v++ {
+		if !values[v] {
+			t.Fatalf("counter value %d missing from replies: %v", v, values)
+		}
+	}
+}
+
+// TestStubMulticallMediatedFallsBack: with a mediator installed the batch
+// path would bypass the Pre/PostInvoke bracket, so Multicall degrades to
+// per-element mediated delivery — semantics over syscall count.
+func TestStubMulticallMediatedFallsBack(t *testing.T) {
+	w := newQoSWorld(t, 0)
+	ctx := context.Background()
+	if _, err := w.stub.Negotiate(ctx, &Proposal{Characteristic: "Tracing"}); err != nil {
+		t.Fatal(err)
+	}
+	const calls = 3
+	res := w.stub.Multicall(ctx, "inc", make([][]byte, calls))
+	for i, r := range res {
+		if err := r.Failed(); err != nil {
+			t.Fatalf("elem %d: %v", i, err)
+		}
+	}
+	w.mediator.mu.Lock()
+	pres := w.mediator.pres
+	w.mediator.mu.Unlock()
+	if pres != calls {
+		t.Fatalf("mediator saw %d PreInvokes, want %d", pres, calls)
+	}
+}
+
+// TestCallAsyncManyInterleaved drives concurrent async calls from several
+// goroutines through one stub; every reply must decode to a distinct
+// counter value.
+func TestCallAsyncManyInterleaved(t *testing.T) {
+	w := newQoSWorld(t, 0)
+	ctx := context.Background()
+	const calls = 64
+	var mu sync.Mutex
+	values := make(map[int32]bool)
+	var wg sync.WaitGroup
+	errs := make(chan error, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fut, err := w.stub.CallAsync(ctx, "inc", nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			out, err := fut.Wait(ctx)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := out.Err(); err != nil {
+				errs <- err
+				return
+			}
+			v, err := out.Decoder().ReadLong()
+			if err != nil {
+				errs <- err
+				return
+			}
+			mu.Lock()
+			if values[v] {
+				errs <- fmt.Errorf("value %d delivered twice", v)
+			}
+			values[v] = true
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if len(values) != calls {
+		t.Fatalf("saw %d distinct replies, want %d", len(values), calls)
+	}
+}

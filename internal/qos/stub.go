@@ -277,6 +277,187 @@ func (s *Stub) mediate(ctx context.Context, inv *orb.Invocation, mediator Mediat
 	return mediator.PostInvoke(ctx, inv, out)
 }
 
+// observe assembles and fans out one Observation to the installed probes.
+func (s *Stub) observe(op string, binding *Binding, span *obs.Span, observers []Observer,
+	start time.Time, reqBytes int, out *orb.Outcome, err error) {
+	if len(observers) == 0 {
+		return
+	}
+	o := Observation{
+		Operation: op,
+		RTT:       time.Since(start),
+		ReqBytes:  reqBytes,
+		At:        time.Now(),
+	}
+	if binding != nil {
+		o.Characteristic = binding.Characteristic
+	}
+	if span != nil {
+		if sc := span.Context(); sc.Valid() {
+			o.TraceID = sc.TraceID.String()
+			o.SpanID = sc.SpanID.String()
+		}
+	}
+	if err != nil {
+		o.Err = err
+	} else if out != nil {
+		o.Err = out.Err()
+		o.RepBytes = len(out.Data)
+	}
+	for _, observer := range observers {
+		observer(o)
+	}
+}
+
+// InvokeAsync dispatches op without waiting for the reply and returns the
+// future resolving to its outcome. The QoS semantics match Invoke exactly:
+// the request is binding-tagged, mediators keep their delivery bracket
+// (they run on a per-call goroutine), and the span and monitoring
+// observers fire when the reply lands — with the asynchronous RTT, which
+// measures dispatch-to-completion, not Wait time. Without a mediator the
+// call takes the ORB's zero-goroutine pipelining fast path.
+func (s *Stub) InvokeAsync(ctx context.Context, op string, args []byte) (*orb.Future, error) {
+	s.mu.RLock()
+	target, binding, mediator, observers := s.target, s.binding, s.mediator, s.observers
+	idempotent := s.idempotent[op]
+	s.mu.RUnlock()
+
+	ctx, span := s.orb.Tracer().StartSpan(ctx, "client.call")
+	if span != nil {
+		span.SetOperation(op)
+		span.SetAttr("async", "1")
+		if binding != nil {
+			span.SetAttr("characteristic", binding.Characteristic)
+			span.SetAttr("binding", binding.ID)
+		}
+	}
+
+	inv := &orb.Invocation{
+		Target:           target,
+		Operation:        op,
+		Args:             args,
+		ResponseExpected: true,
+		Idempotent:       idempotent,
+		Order:            s.orb.Order(),
+	}
+	if binding != nil {
+		inv.Binding = binding.Characteristic
+		inv.Contexts = inv.Contexts.With(giop.SCQoS, QoSTag{
+			Characteristic: binding.Characteristic,
+			BindingID:      binding.ID,
+			Module:         binding.Module,
+		}.Encode())
+	}
+
+	start := time.Now()
+	onDone := func(out *orb.Outcome, err error) {
+		if span != nil {
+			if err != nil {
+				span.RecordError(err)
+			} else if out != nil {
+				span.RecordError(out.Err())
+			}
+			span.End()
+		}
+		s.observe(op, binding, span, observers, start, len(args), out, err)
+	}
+
+	if mediator != nil {
+		// Mediated delivery needs the full bracket; run it on a delivery
+		// goroutine and complete the future from there.
+		fut := orb.GoFuture(s.orb.RequestTimeout(), func() (*orb.Outcome, error) {
+			out, err := s.deliver(ctx, inv, mediator)
+			onDone(out, err)
+			return out, err
+		})
+		return fut, nil
+	}
+	fut, err := s.orb.InvokeAsyncObserved(ctx, inv, onDone)
+	if err != nil {
+		if span != nil {
+			span.RecordError(err)
+			span.End()
+		}
+		return nil, err
+	}
+	return fut, nil
+}
+
+// CallAsync is the asynchronous counterpart of Call for generated stubs:
+// dispatch now, decode later. The returned future resolves to the raw
+// outcome; remote exceptions surface when the caller inspects it (Wait
+// then Outcome.Err, exactly as Call would have).
+func (s *Stub) CallAsync(ctx context.Context, op string, args []byte) (*orb.Future, error) {
+	return s.InvokeAsync(ctx, op, args)
+}
+
+// Multicall delivers one invocation of op per element of argsList as a
+// single coalesced batch (one flush per endpoint — see orb.InvokeBatch)
+// and returns the positional per-element results. Binding tagging and
+// observer feeding match Invoke; mediated stubs fall back to sequential
+// mediated delivery, since mediators own their own fan-out.
+func (s *Stub) Multicall(ctx context.Context, op string, argsList [][]byte) []orb.MulticallResult {
+	s.mu.RLock()
+	target, binding, mediator, observers := s.target, s.binding, s.mediator, s.observers
+	idempotent := s.idempotent[op]
+	s.mu.RUnlock()
+
+	if mediator != nil {
+		res := make([]orb.MulticallResult, len(argsList))
+		for i, args := range argsList {
+			out, err := s.Invoke(ctx, op, args, false)
+			res[i] = orb.MulticallResult{Outcome: out, Err: err}
+		}
+		return res
+	}
+
+	ctx, span := s.orb.Tracer().StartSpan(ctx, "client.multicall")
+	if span != nil {
+		span.SetOperation(op)
+		if binding != nil {
+			span.SetAttr("characteristic", binding.Characteristic)
+			span.SetAttr("binding", binding.ID)
+		}
+	}
+
+	invs := make([]*orb.Invocation, len(argsList))
+	for i, args := range argsList {
+		inv := &orb.Invocation{
+			Target:           target,
+			Operation:        op,
+			Args:             args,
+			ResponseExpected: true,
+			Idempotent:       idempotent,
+			Order:            s.orb.Order(),
+		}
+		if binding != nil {
+			inv.Binding = binding.Characteristic
+			inv.Contexts = inv.Contexts.With(giop.SCQoS, QoSTag{
+				Characteristic: binding.Characteristic,
+				BindingID:      binding.ID,
+				Module:         binding.Module,
+			}.Encode())
+		}
+		invs[i] = inv
+	}
+
+	start := time.Now()
+	res := s.orb.InvokeBatch(ctx, invs)
+	if span != nil {
+		for _, r := range res {
+			if err := r.Failed(); err != nil {
+				span.RecordError(err)
+				break
+			}
+		}
+		span.End()
+	}
+	for i, r := range res {
+		s.observe(op, binding, span, observers, start, len(argsList[i]), r.Outcome, r.Err)
+	}
+	return res
+}
+
 // Call is the convenience used by generated stubs: invoke, convert remote
 // exceptions to errors, and return a decoder over the results.
 func (s *Stub) Call(ctx context.Context, op string, args []byte) (*cdr.Decoder, error) {

@@ -62,6 +62,11 @@ type (
 	Invocation = orb.Invocation
 	// Outcome is the result of an invocation.
 	Outcome = orb.Outcome
+	// Future is the rendezvous of an asynchronous invocation
+	// (Stub.CallAsync, ORB.InvokeAsync, DII deferred Send).
+	Future = orb.Future
+	// MulticallResult is the per-element outcome of a batched Multicall.
+	MulticallResult = orb.MulticallResult
 	// SystemException is a broker-level failure.
 	SystemException = orb.SystemException
 	// UserException is an application-declared exception.
@@ -285,6 +290,12 @@ type Options struct {
 	// path. 0 or 1 keeps one multiplexed connection per endpoint (see
 	// docs/PERFORMANCE.md).
 	ConnsPerEndpoint int
+	// PipelineDepth caps reply-expecting requests in flight per
+	// connection (per stripe member): senders -- synchronous and
+	// asynchronous alike -- block once the window is full, so pipelined
+	// clients exert backpressure instead of queueing unboundedly. 0
+	// leaves the in-flight window unbounded (see docs/PERFORMANCE.md).
+	PipelineDepth int
 	// DispatchWorkers bounds concurrent server-side request handlers
 	// per QoS class; requests beyond DispatchQueueDepth are shed with a
 	// TRANSIENT exception. <= 0 keeps the unbounded
@@ -345,6 +356,7 @@ func NewSystem(opts Options) (*System, error) {
 		Transport:          opts.Transport,
 		RequestTimeout:     opts.RequestTimeout,
 		ConnsPerEndpoint:   opts.ConnsPerEndpoint,
+		PipelineDepth:      opts.PipelineDepth,
 		DispatchWorkers:    opts.DispatchWorkers,
 		DispatchQueueDepth: opts.DispatchQueueDepth,
 		DispatchDeadline:   opts.DispatchDeadline,
