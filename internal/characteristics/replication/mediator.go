@@ -232,6 +232,15 @@ type replicaReply struct {
 // future resolves when that replica answers. It is sendTo split at the
 // rendezvous, so the active strategy can put every replica's request on
 // its connection back-to-back before waiting for any reply.
+//
+// The dispatch goes through ORB.InvokeAsync rather than the mediator's
+// `next` continuation. That is deliberately equivalent, not a shortcut:
+// the stub hands mediators exactly orb.Invoke as next (see
+// qos.Stub.mediate), so there is no delivery stage between mediator and
+// transport to bypass, and per-call conformance/SLO observation happens
+// in the stub bracket around Deliver — per logical call, never per
+// replica — for failover and active alike. If a stage is ever layered
+// between mediator and ORB, this dispatch must be routed through it.
 func (m *Mediator) dispatchTo(ctx context.Context, inv *orb.Invocation, endpoint string) (*orb.Future, error) {
 	binding, err := m.ensureBinding(ctx, endpoint)
 	if err != nil {

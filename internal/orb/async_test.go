@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -197,10 +200,12 @@ func TestRegisterOnDeadConnReturnsWindowSlot(t *testing.T) {
 	conn.window = make(chan struct{}, 1)
 	conn.close(NewSystemException(ExcCommFailure, 99, "induced teardown"))
 
-	if _, err := conn.sendAsync(context.Background(), echoInvocation(w.client, w.ref, "x", false), acquireFuture()); err == nil {
+	if _, registered, err := conn.sendAsync(context.Background(), echoInvocation(w.client, w.ref, "x", false), acquireFuture()); err == nil {
 		t.Fatal("sendAsync on a dead connection succeeded")
 	} else if !isNotSent(err) {
 		t.Fatalf("want NotSentError, got %v", err)
+	} else if registered {
+		t.Fatal("a dead-connection register must report registered=false")
 	}
 	if got := len(conn.window); got != 0 {
 		t.Fatalf("window slot leaked: %d held after failed register", got)
@@ -209,6 +214,159 @@ func TestRegisterOnDeadConnReturnsWindowSlot(t *testing.T) {
 	// fresh and succeeds.
 	if got, err := callEcho(t, w.client, w.ref, "recovered"); err != nil || got != "recovered" {
 		t.Fatalf("reconnect after teardown: %q, %v", got, err)
+	}
+}
+
+// writeFailConn is a net.Conn whose writes always fail, driving the
+// registered-then-write-failed sendAsync path deterministically.
+type writeFailConn struct{}
+
+func (writeFailConn) Read(p []byte) (int, error)       { return 0, io.EOF }
+func (writeFailConn) Write(p []byte) (int, error)      { return 0, errors.New("induced write failure") }
+func (writeFailConn) Close() error                     { return nil }
+func (writeFailConn) LocalAddr() net.Addr              { return nil }
+func (writeFailConn) RemoteAddr() net.Addr             { return nil }
+func (writeFailConn) SetDeadline(time.Time) error      { return nil }
+func (writeFailConn) SetReadDeadline(time.Time) error  { return nil }
+func (writeFailConn) SetWriteDeadline(time.Time) error { return nil }
+
+// TestSendAsyncWriteErrorLeavesFutureToCloser pins the registered-write-
+// error contract: when the frame write fails after the request entered
+// the pending map, sendAsync reports registered=true, the connection
+// teardown completes the future with the COMM_FAILURE cause, and the
+// failure is NOT retry-safe (the request may have partially left the
+// process). The caller must not pool the future on this path — a racing
+// closer may still hold the reference — so invokeAsync hands it back
+// instead of releasing it.
+func TestSendAsyncWriteErrorLeavesFutureToCloser(t *testing.T) {
+	w := newWorld(t)
+	conn := newClientConn(w.client, "deadwrite:1", writeFailConn{}, 0)
+	conn.window = make(chan struct{}, 4)
+
+	fut := acquireFuture()
+	fut.orb = w.client
+	inv := echoInvocation(w.client, w.ref, "doomed", false)
+	fut.inv = inv
+
+	_, registered, err := conn.sendAsync(context.Background(), inv, fut)
+	if err == nil {
+		t.Fatal("write on a failing connection succeeded")
+	}
+	if !registered {
+		t.Fatal("want registered=true: the request entered the pending map before the write failed")
+	}
+	if isNotSent(err) {
+		t.Fatalf("registered write failure must not be retry-safe, got %v", err)
+	}
+	// Teardown owned completion: the future already resolved with the
+	// sticky cause, so no Wait can hang and the waiter sees the failure.
+	select {
+	case <-fut.Done():
+	default:
+		t.Fatal("future not completed by connection teardown")
+	}
+	var sysErr *SystemException
+	if werr := fut.Err(); !errors.As(werr, &sysErr) || sysErr.Name != ExcCommFailure {
+		t.Fatalf("want COMM_FAILURE through the future, got %v", werr)
+	}
+	// The teardown returned the drained registration's window slot.
+	if got := len(conn.window); got != 0 {
+		t.Fatalf("window slot leaked: %d held after teardown", got)
+	}
+}
+
+// TestInvokeAsyncAfterCrashContract exercises the InvokeAsync error
+// contract end to end against a crashed server: every dispatch either
+// fails immediately with a retry-safe NotSentError (it never registered)
+// or returns a future that resolves to a system exception — never an
+// unresolvable future, never a non-retry-safe error return.
+func TestInvokeAsyncAfterCrashContract(t *testing.T) {
+	n := netsim.NewNetwork()
+	n.Seed(11)
+	server := New(Options{Transport: n.Host("server")})
+	if err := server.Listen("server:9303"); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := server.Adapter().Activate("echo", "IDL:test/Echo:1.0", &echoServant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := New(Options{Transport: n.Host("client"), PipelineDepth: 8})
+	t.Cleanup(func() {
+		client.Shutdown()
+		server.Shutdown()
+	})
+
+	ctx := context.Background()
+	// Materialise the connection, then pull the rug.
+	if _, err := callEcho(t, client, ref, "warm"); err != nil {
+		t.Fatal(err)
+	}
+	n.Crash("server")
+
+	for i := 0; i < 16; i++ {
+		fut, err := client.InvokeAsync(ctx, echoInvocation(client, ref, "after-crash", false))
+		if err != nil {
+			if !isNotSent(err) {
+				t.Fatalf("dispatch %d: immediate error must be retry-safe, got %v", i, err)
+			}
+			continue
+		}
+		waitCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		_, werr := fut.Wait(waitCtx)
+		cancel()
+		if werr == nil {
+			t.Fatalf("dispatch %d resolved without error after crash", i)
+		}
+		var sysErr *SystemException
+		if !errors.As(werr, &sysErr) {
+			t.Fatalf("dispatch %d: want a system exception through the future, got %v", i, werr)
+		}
+	}
+}
+
+// TestFutureErrOutcomePollRace polls Err/Outcome from a second goroutine
+// while the call completes on the read loop; the race detector verifies
+// that completion publishes the result fields before the accessors can
+// observe them.
+func TestFutureErrOutcomePollRace(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	for i := 0; i < 64; i++ {
+		fut, err := w.client.InvokeAsync(ctx, echoInvocation(w.client, w.ref, "poll-race", false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if fut.Outcome() != nil || fut.Err() != nil {
+						return
+					}
+				}
+			}
+		}()
+		select {
+		case <-fut.Done():
+		case <-time.After(5 * time.Second):
+			t.Fatal("future never completed")
+		}
+		close(stop)
+		wg.Wait()
+		if err := fut.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if fut.Outcome() == nil {
+			t.Fatal("completed future lost its outcome")
+		}
+		fut.Release()
 	}
 }
 
@@ -266,6 +424,69 @@ func TestPipelineWindowBackpressure(t *testing.T) {
 		if err := out.Err(); err != nil {
 			t.Fatalf("in-flight call %d: %v", i, err)
 		}
+	}
+}
+
+// TestPipelineWindowHonorsRequestTimeout dispatches with a deadline-less
+// context into a full depth-1 window while the server stalls: the stored
+// RequestTimeout must bound the window wait, so InvokeAsync fails with a
+// retry-safe timeout instead of hanging until a slot frees.
+func TestPipelineWindowHonorsRequestTimeout(t *testing.T) {
+	n := netsim.NewNetwork()
+	server := New(Options{Transport: n.Host("server")})
+	if err := server.Listen("server:9305"); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := server.Adapter().Activate("echo", "IDL:test/Echo:1.0", &echoServant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := New(Options{
+		Transport: n.Host("client"), PipelineDepth: 1,
+		RequestTimeout: 60 * time.Millisecond,
+	})
+	t.Cleanup(func() {
+		client.Shutdown()
+		server.Shutdown()
+	})
+
+	ctx := context.Background()
+	slow := func() *Invocation {
+		e := cdr.NewEncoder(client.Order())
+		e.WriteString("busy")
+		return &Invocation{
+			Target: ref, Operation: "slow", Args: e.Bytes(),
+			ResponseExpected: true, Order: client.Order(),
+		}
+	}
+	first, err := client.InvokeAsync(ctx, slow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := client.InvokeAsync(ctx, slow()); err == nil {
+		t.Fatal("second dispatch fit into a full depth-1 window")
+	} else if !isNotSent(err) {
+		t.Fatalf("window-timeout failure must be retry-safe, got %v", err)
+	} else {
+		var sysErr *SystemException
+		if !errors.As(err, &sysErr) || sysErr.Name != ExcTimeout {
+			t.Fatalf("want TIMEOUT, got %v", err)
+		}
+	}
+	// The server's slow op runs 200ms; failing well before that proves the
+	// RequestTimeout, not the freed slot, unblocked the dispatch.
+	if waited := time.Since(start); waited > 150*time.Millisecond {
+		t.Fatalf("window wait ran %v, past the configured RequestTimeout", waited)
+	}
+	// An explicit Wait deadline overrides the stored RequestTimeout (which
+	// would otherwise expire before the 200ms slow reply arrives).
+	waitCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if out, err := first.Wait(waitCtx); err != nil {
+		t.Fatalf("in-flight call: %v", err)
+	} else if err := out.Err(); err != nil {
+		t.Fatalf("in-flight call: %v", err)
 	}
 }
 

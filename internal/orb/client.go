@@ -171,10 +171,16 @@ func (c *clientConn) trackPending(delta int32) {
 }
 
 // acquireWindow blocks until a pipeline slot is free (no-op when
-// pipelining is unbounded). It must be called without c.mu held: slots
-// are released by the read loop, and blocking under the demux lock would
-// deadlock the connection.
-func (c *clientConn) acquireWindow(ctx context.Context) error {
+// pipelining is unbounded). timeout bounds the blocking wait when ctx
+// carries no deadline — the asynchronous dispatch path stores
+// Options.RequestTimeout on the future instead of wrapping its context
+// the way ORB.Invoke does, so without this bound a full window against a
+// stalled server would block a deadline-less dispatch forever. Pass 0
+// when ctx is already bounded. The timer is armed only on the blocked
+// slow path, keeping the uncontended dispatch allocation-free. It must
+// be called without c.mu held: slots are released by the read loop, and
+// blocking under the demux lock would deadlock the connection.
+func (c *clientConn) acquireWindow(ctx context.Context, timeout time.Duration) error {
 	if c.window == nil {
 		return nil
 	}
@@ -182,6 +188,12 @@ func (c *clientConn) acquireWindow(ctx context.Context) error {
 	case c.window <- struct{}{}:
 		return nil
 	default:
+	}
+	var expire <-chan time.Time
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline && timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expire = t.C
 	}
 	select {
 	case c.window <- struct{}{}:
@@ -191,6 +203,8 @@ func (c *clientConn) acquireWindow(ctx context.Context) error {
 			return NewSystemException(ExcTimeout, 7, "pipeline window to %s full past deadline", c.addr)
 		}
 		return ctx.Err()
+	case <-expire:
+		return NewSystemException(ExcTimeout, 7, "pipeline window to %s full past deadline", c.addr)
 	}
 }
 
@@ -252,7 +266,9 @@ func (c *clientConn) unregister(id uint32) {
 // It reports the encoded request and reply sizes for accounting.
 func (c *clientConn) roundTrip(ctx context.Context, inv *Invocation) (out *Outcome, sent, recv int, err error) {
 	if inv.ResponseExpected {
-		if werr := c.acquireWindow(ctx); werr != nil {
+		// The synchronous path's context is already RequestTimeout-bounded
+		// by ORB.Invoke, so no extra window timeout applies.
+		if werr := c.acquireWindow(ctx, 0); werr != nil {
 			// No slot was taken and nothing was sent.
 			return nil, 0, 0, notSent(werr)
 		}
@@ -332,10 +348,22 @@ func (c *clientConn) roundTrip(ctx context.Context, inv *Invocation) (out *Outco
 // (out-of-order replies rendezvous through the pending map exactly as
 // concurrent synchronous calls do). It reports the encoded request size
 // for accounting. Backpressure: with Options.PipelineDepth set, sendAsync
-// blocks until the connection's in-flight window has a free slot.
-func (c *clientConn) sendAsync(ctx context.Context, inv *Invocation, fut *Future) (sent int, err error) {
-	if err := c.acquireWindow(ctx); err != nil {
-		return 0, notSent(err)
+// blocks until the connection's in-flight window has a free slot, bounded
+// by fut's RequestTimeout when ctx carries no deadline.
+//
+// registered reports whether the future entered the pending map. Once it
+// has, the future's completion belongs to connection teardown: a write
+// failure here calls close, which drains the pending map and completes
+// every drained future with the sticky cause — possibly from a racing
+// read-loop closer that is still holding the reference. The caller must
+// therefore NEVER pool a future after a registered failure (mirror
+// Future.abandon); it resolves with the teardown cause and can be handed
+// to the waiter or left to the garbage collector. Failures with
+// registered == false are retry-safe NotSentErrors and the caller remains
+// the future's sole owner.
+func (c *clientConn) sendAsync(ctx context.Context, inv *Invocation, fut *Future) (sent int, registered bool, err error) {
+	if err := c.acquireWindow(ctx, fut.timeout); err != nil {
+		return 0, false, notSent(err)
 	}
 	inv.Stripe = c.slot + 1
 	if fut.fr != nil {
@@ -344,7 +372,7 @@ func (c *clientConn) sendAsync(ctx context.Context, inv *Invocation, fut *Future
 	id, _, err := c.register(true, fut)
 	if err != nil {
 		c.releaseWindow(1)
-		return 0, notSent(err)
+		return 0, false, notSent(err)
 	}
 	fut.conn = c
 	fut.id = id
@@ -373,9 +401,13 @@ func (c *clientConn) sendAsync(ctx context.Context, inv *Invocation, fut *Future
 	c.writeMu.Unlock()
 	e.Release()
 	if err != nil {
+		// close (ours, or a racing one from the read loop that already set
+		// the sticky error) drains the pending map and completes fut with
+		// the teardown cause; the unregister is a no-op after the drain but
+		// covers the window where no close has swapped the map yet.
 		c.close(NewSystemException(ExcCommFailure, 2, "writing request to %s: %v", c.addr, err))
 		c.unregister(id)
-		return 0, NewSystemException(ExcCommFailure, 2, "writing request to %s: %v", c.addr, err)
+		return 0, true, NewSystemException(ExcCommFailure, 2, "writing request to %s: %v", c.addr, err)
 	}
 	if ob != nil {
 		enc := time.Since(encStart)
@@ -384,12 +416,14 @@ func (c *clientConn) sendAsync(ctx context.Context, inv *Invocation, fut *Future
 		fut.encodeNs.Store(int64(enc))
 		ob.phase(inv.Binding).encode.Observe(enc)
 	}
-	return sent, nil
+	return sent, true, nil
 }
 
 // sendAsync on the module accounts the request and hands the invocation
-// to the connection layer.
-func (m *iiopModule) sendAsync(ctx context.Context, inv *Invocation, fut *Future) error {
+// to the connection layer. registered propagates the connection-layer
+// ownership contract: once true, the future's completion belongs to
+// connection teardown and the caller must not pool it on error.
+func (m *iiopModule) sendAsync(ctx context.Context, inv *Invocation, fut *Future) (registered bool, err error) {
 	ctx, sp := obs.StartChild(ctx, "wire.send")
 	if sp != nil {
 		sp.SetOperation(inv.Operation)
@@ -401,9 +435,9 @@ func (m *iiopModule) sendAsync(ctx context.Context, inv *Invocation, fut *Future
 		err = notSent(err)
 		sp.RecordError(err)
 		sp.End()
-		return err
+		return false, err
 	}
-	sent, err := conn.sendAsync(ctx, inv, fut)
+	sent, registered, err := conn.sendAsync(ctx, inv, fut)
 	if err == nil {
 		m.requestsSent.Add(1)
 		m.bytesSent.Add(uint64(sent))
@@ -413,7 +447,7 @@ func (m *iiopModule) sendAsync(ctx context.Context, inv *Invocation, fut *Future
 		sp.RecordError(err)
 		sp.End()
 	}
-	return err
+	return registered, err
 }
 
 // sendCancel notifies the server that the client gave up on a request.

@@ -24,7 +24,10 @@ import (
 type Future struct {
 	// done is closed when the invocation completes. A fresh channel is
 	// armed per pool cycle; close-based signalling keeps the completion
-	// race-free under arbitrary Done()/Wait() interleavings.
+	// race-free under arbitrary Done()/Wait() interleavings, and the
+	// close is the ONLY synchronisation point for readers of out/err —
+	// completed is merely the completers' first-wins claim ticket and is
+	// set before the result fields are written.
 	done      chan struct{}
 	completed atomic.Bool
 
@@ -153,32 +156,43 @@ func (f *Future) Done() <-chan struct{} { return f.done }
 // Err returns the delivery error once the future is done: nil when an
 // Outcome arrived (the outcome itself may still carry a remote exception —
 // see Outcome.Err), the local failure otherwise. Before completion it
-// returns nil.
+// returns nil. The done channel, not the completed flag, gates the read:
+// close(done) happens after the completer's field writes, so it carries
+// the happens-before edge a concurrent poller needs (the flag is set
+// before the fields and would let a poller read a torn result).
 func (f *Future) Err() error {
-	if !f.completed.Load() {
+	select {
+	case <-f.done:
+		return f.err
+	default:
 		return nil
 	}
-	return f.err
 }
 
 // Outcome returns the delivered outcome once the future is done (nil on
-// local failure or before completion).
+// local failure or before completion). See Err for why the done channel
+// gates the read.
 func (f *Future) Outcome() *Outcome {
-	if !f.completed.Load() {
+	select {
+	case <-f.done:
+		return f.out
+	default:
 		return nil
 	}
-	return f.out
 }
 
 // Release returns a completed future to the pool for callers using the
 // Done/Err/Outcome protocol instead of Wait. Releasing an incomplete
 // future is a no-op (it stays with the garbage collector); the future
-// must not be used after Release.
+// must not be used after Release. Gating on done rather than the
+// completed flag keeps a racing Release from pooling the future while
+// the completer is still writing its result fields.
 func (f *Future) Release() {
-	if !f.completed.Load() {
-		return
+	select {
+	case <-f.done:
+		f.release()
+	default:
 	}
-	f.release()
 }
 
 // Wait blocks until the invocation completes or ctx expires, whichever is
@@ -262,6 +276,13 @@ func (f *Future) abandon(cause error) error {
 // call — this is the pipelining fast path); otherwise a per-call delivery
 // goroutine wraps the full synchronous machinery so retry, breaker and
 // mediator semantics are preserved exactly.
+//
+// Error contract: a non-nil error means the request never registered with
+// a connection — it provably never hit the wire, and the failure is a
+// retry-safe NotSentError or a validation/routing exception. Failures
+// after registration (frame-write errors included) resolve through the
+// returned Future instead, as the COMM_FAILURE-class exceptions a
+// synchronous call would see.
 func (o *ORB) InvokeAsync(ctx context.Context, inv *Invocation) (*Future, error) {
 	return o.invokeAsync(ctx, inv, nil)
 }
@@ -338,7 +359,21 @@ func (o *ORB) invokeAsync(ctx context.Context, inv *Invocation, onDone func(*Out
 
 	if mod == TransportModule(o.iiop) && o.res == nil && inv.ResponseExpected {
 		o.armFlight(ctx, f, inv)
-		if err := o.iiop.sendAsync(ctx, inv, f); err != nil {
+		registered, err := o.iiop.sendAsync(ctx, inv, f)
+		if err != nil {
+			if registered {
+				// The frame write failed after the request entered the
+				// pending map: connection teardown owns the future's
+				// completion, and a racing closer may still hold the
+				// reference, so the future must NOT be pooled (mirror
+				// Future.abandon). It resolves with the teardown cause —
+				// hand it to the caller so the failure surfaces exactly
+				// once, through onDone and Wait, per the InvokeAsync
+				// error contract.
+				return f, nil
+			}
+			// Never registered: this goroutine is the future's sole owner
+			// and the retry-safe dispatch failure is the caller's to see.
 			f.release()
 			return nil, err
 		}

@@ -201,7 +201,14 @@ func (c *clientConn) sendBatch(ctx context.Context, elems []batchElem, res []Mul
 					failBatch(elems[k:], res, err)
 					return
 				}
-				if err := c.acquireWindow(ctx); err != nil {
+				// Reply-expecting batch elements carry the same stored
+				// RequestTimeout as plain async dispatches; it bounds the
+				// wait when ctx has no deadline.
+				var wt time.Duration
+				if el.fut != nil {
+					wt = el.fut.timeout
+				}
+				if err := c.acquireWindow(ctx, wt); err != nil {
 					failBatch(elems[k:], res, notSent(err))
 					return
 				}

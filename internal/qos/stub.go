@@ -267,6 +267,12 @@ func (s *Stub) mediate(ctx context.Context, inv *orb.Invocation, mediator Mediat
 	var out *orb.Outcome
 	var err error
 	if dm, takesOver := mediator.(DeliveryMediator); takesOver {
+		// The continuation handed to delivery mediators is exactly
+		// orb.Invoke — the stub layers nothing between mediator and
+		// transport. Mediators rely on this to dispatch per-replica sends
+		// through ORB.InvokeAsync directly (see replication's
+		// deliverActive); anyone inserting a delivery stage here must
+		// also thread it through those async dispatch paths.
 		out, err = dm.Deliver(ctx, inv, s.orb.Invoke)
 	} else {
 		out, err = s.orb.Invoke(ctx, inv)
@@ -374,6 +380,12 @@ func (s *Stub) InvokeAsync(ctx context.Context, op string, args []byte) (*orb.Fu
 	}
 	fut, err := s.orb.InvokeAsyncObserved(ctx, inv, onDone)
 	if err != nil {
+		// Per the InvokeAsync error contract, a returned error means the
+		// request never registered with a connection, so onDone never ran
+		// (and never will): ending the span here cannot double-end it,
+		// and the call is reported exactly once — as this error. Failures
+		// after registration complete the future instead, where onDone
+		// owns the span and the observers.
 		if span != nil {
 			span.RecordError(err)
 			span.End()
