@@ -13,10 +13,21 @@ LOADGEN_OUT ?= BENCH_8.json
 # pipelined vs batched per-connection comparison): see docs/PERFORMANCE.md.
 PIPELINE_OUT ?= BENCH_9.json
 
+# Trajectory file produced by `make loadgen-traced` (the pipelined
+# comparison re-run with tail-based trace sampling on, recording the
+# kept/dropped tallies next to the latency results): docs/OBSERVABILITY.md.
+TRACED_OUT ?= BENCH_10.json
+
 # Final live-status snapshot written by the loadgen smoke run (the /loadgen
 # debug view, including the self-server's admission counters); CI archives
 # it next to the BENCH_*.json trajectory.
 LOADGEN_STATUS ?= loadgen-status.json
+
+# Artifacts from the loadgen smoke run's observability surface: the kept
+# trace spans (tail sampling at a 10% healthy keep) and any
+# anomaly-triggered profile captures; CI uploads both.
+TRACE_SNAPSHOT ?= loadgen-traces.json
+PROFILE_DIR ?= loadgen-profiles
 
 # Coverage floor (percent) enforced by `make cover` on the observability
 # and QoS packages: the flight recorder, debug endpoints and the SLO/burn
@@ -26,7 +37,7 @@ COVER_PKGS ?= ./internal/obs ./internal/qos
 COVER_FLOOR ?= 75
 COVER_PROFILE ?= coverprofile.out
 
-.PHONY: all check vet build test race bench bench-smoke loadgen loadgen-smoke loadgen-pipeline slo-smoke chaos cover clean
+.PHONY: all check vet build test race bench bench-smoke loadgen loadgen-smoke loadgen-pipeline loadgen-traced slo-smoke chaos cover clean
 
 all: check
 
@@ -79,12 +90,22 @@ loadgen:
 loadgen-pipeline:
 	$(GO) run ./cmd/maqs-loadgen -self -scenario pipeline -seed 1 -netsim-latency 200us -o $(PIPELINE_OUT)
 
+# loadgen-traced re-runs the pipelined comparison with tail-based trace
+# sampling enabled (anomalous traces always kept, 10% of healthy ones):
+# BENCH_10.json records the per-class kept/dropped/evicted tallies next
+# to the latency percentiles, proving the sampler holds up under a
+# saturating pipelined workload (see docs/OBSERVABILITY.md).
+loadgen-traced:
+	$(GO) run ./cmd/maqs-loadgen -self -scenario pipeline -seed 1 -netsim-latency 200us -tail-sample 0.1 -o $(TRACED_OUT)
+
 # loadgen-smoke drives the ~1.2k-request smoke preset over loopback TCP:
 # a fast end-to-end proof that the harness schedules, negotiates and
 # reports. Fails on any request error, and leaves the final live-status
-# view in $(LOADGEN_STATUS) for CI to archive.
+# view in $(LOADGEN_STATUS), the tail-sampled trace spans in
+# $(TRACE_SNAPSHOT) and any anomaly-triggered profiles in $(PROFILE_DIR)
+# for CI to archive.
 loadgen-smoke:
-	@out=$$($(GO) run ./cmd/maqs-loadgen -self -scenario smoke -seed 1 -report 10s -status-snapshot $(LOADGEN_STATUS)) || { echo "$$out"; exit 1; }; \
+	@out=$$($(GO) run ./cmd/maqs-loadgen -self -scenario smoke -seed 1 -report 10s -status-snapshot $(LOADGEN_STATUS) -tail-sample 0.1 -trace-snapshot $(TRACE_SNAPSHOT) -profile-dir $(PROFILE_DIR)) || { echo "$$out"; exit 1; }; \
 	echo "$$out"; \
 	echo "$$out" | grep -q ', errors 0' || { echo "loadgen-smoke: request errors reported"; exit 1; }
 

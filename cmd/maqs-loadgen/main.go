@@ -35,7 +35,9 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
+	"path/filepath"
 	"os/signal"
 	"runtime"
 	"strings"
@@ -113,6 +115,9 @@ func run() error {
 	queueDepth := flag.Int("queue-depth", 512, "self server: dispatch queue depth per class before shedding")
 	shedDeadline := flag.Duration("shed-deadline", 0, "self server: shed requests queued longer than this (0: queue-full shedding only)")
 	statusSnap := flag.String("status-snapshot", "", "write the final live-status JSON (the /loadgen view) to this file")
+	tailSample := flag.Float64("tail-sample", -1, "enable tail-based trace sampling, keeping anomalous traces plus this fraction of healthy ones (0..1; negative: record every span)")
+	traceSnap := flag.String("trace-snapshot", "", "write the kept trace spans (per class) as JSON to this file after the run")
+	profileDir := flag.String("profile-dir", "", "write anomaly-triggered CPU/heap profile captures into this directory after the run")
 	netsimLat := flag.Duration("netsim-latency", 0, "self server: run over a simulated network with this one-way link latency instead of TCP loopback (gives pipelining comparisons a realistic RTT)")
 	flag.Parse()
 
@@ -171,8 +176,18 @@ func run() error {
 	}
 
 	// The central bundle collects anomaly dumps from every class system
-	// (shared flight recorder) and backs the -debug HTTP surface.
-	central := maqs.NewObservability()
+	// (shared flight recorder) and backs the -debug HTTP surface. When
+	// profiles are wanted — as files or on /profile — anomaly-triggered
+	// capture rides on the same shared recorder.
+	centralCfg := obs.Config{}
+	if *profileDir != "" || *debug != "" {
+		centralCfg.Profiling = &obs.ProfilingConfig{}
+	}
+	central := maqs.NewObservabilityWithConfig(centralCfg)
+	var tailCfg *obs.TailSamplingConfig
+	if *tailSample >= 0 {
+		tailCfg = &obs.TailSamplingConfig{HealthyKeepFraction: *tailSample}
+	}
 	runner, err := loadgen.NewRunner(loadgen.Config{
 		Target:           target,
 		Scenarios:        scenarios,
@@ -183,6 +198,7 @@ func run() error {
 		SummaryEvery:     *report,
 		ServerMetrics:    serverMetrics,
 		Observability:    central,
+		TailSampling:     tailCfg,
 	})
 	if err != nil {
 		return err
@@ -197,14 +213,21 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("debug listener: %w", err)
 		}
-		debugSrv = &http.Server{Handler: central.Handler()}
+		mux := http.NewServeMux()
+		mux.Handle("/", central.Handler())
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		debugSrv = &http.Server{Handler: mux}
 		go func() { _ = debugSrv.Serve(ln) }()
 		defer func() {
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			_ = debugSrv.Shutdown(ctx)
 			cancel()
 		}()
-		fmt.Printf("debug endpoint on http://%s/ (live status on /loadgen, budgets on /slo)\n", ln.Addr())
+		fmt.Printf("debug endpoint on http://%s/ (live status on /loadgen, budgets on /slo, profiles on /profile and /debug/pprof/)\n", ln.Addr())
 	}
 
 	// Ctrl-C ends the run early; the report covers what completed.
@@ -252,6 +275,13 @@ func run() error {
 			fmt.Printf("  slo %-10s %-8s budget %5.1f%% left  burn fast %.2f slow %.2f  (%d bad / %d good)\n",
 				o.Objective, o.State, o.BudgetRemaining*100, o.FastBurn, o.SlowBurn, o.Bad, o.Good)
 		}
+		if c.Trace != nil {
+			fmt.Printf("  traces     kept %v dropped %v evicted %d\n",
+				c.Trace.Kept, c.Trace.Dropped, c.Trace.Evicted)
+		}
+	}
+	if rep.TraceKept > 0 || rep.TraceDropped > 0 {
+		fmt.Printf("\ntail sampling: %d traces kept, %d dropped\n", rep.TraceKept, rep.TraceDropped)
 	}
 	if dumps := central.Flight.Dumps(); len(dumps) > 0 {
 		fmt.Printf("\nanomaly dumps frozen during the run (inspect with -debug and /flight?dump=<id>):\n")
@@ -276,6 +306,59 @@ func run() error {
 		}
 		fmt.Printf("status snapshot written to %s\n", *statusSnap)
 	}
+	if *traceSnap != "" {
+		data, err := json.MarshalIndent(runner.KeptSpans(), "", "  ")
+		if err != nil {
+			return fmt.Errorf("encoding trace snapshot: %w", err)
+		}
+		if err := os.WriteFile(*traceSnap, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", *traceSnap, err)
+		}
+		fmt.Printf("trace snapshot written to %s\n", *traceSnap)
+	}
+	if *profileDir != "" {
+		if err := writeProfiles(central.Profiler, *profileDir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeProfiles drains the anomaly-triggered profiler into per-capture
+// pprof files: <id>.cpu.pprof and <id>.heap.pprof.
+func writeProfiles(p *obs.Profiler, dir string) error {
+	if p == nil {
+		return nil
+	}
+	p.Flush()
+	sums := p.Captures()
+	if len(sums) == 0 {
+		fmt.Println("no anomaly-triggered profile captures this run")
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("creating %s: %w", dir, err)
+	}
+	written := 0
+	for _, sum := range sums {
+		cap, ok := p.Capture(sum.ID)
+		if !ok {
+			continue
+		}
+		if len(cap.CPU) > 0 {
+			if err := os.WriteFile(filepath.Join(dir, cap.ID+".cpu.pprof"), cap.CPU, 0o644); err != nil {
+				return fmt.Errorf("writing cpu profile: %w", err)
+			}
+			written++
+		}
+		if len(cap.Heap) > 0 {
+			if err := os.WriteFile(filepath.Join(dir, cap.ID+".heap.pprof"), cap.Heap, 0o644); err != nil {
+				return fmt.Errorf("writing heap profile: %w", err)
+			}
+			written++
+		}
+	}
+	fmt.Printf("%d profile file(s) from %d capture(s) written to %s\n", written, len(sums), dir)
 	return nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -92,7 +93,12 @@ func run() error {
 	// fan-out) get the stock retry + circuit-breaker policy.
 	opts := maqs.Options{Resilience: maqs.DefaultResiliencePolicy()}
 	if *debug != "" {
-		opts.Observability = maqs.NewObservability()
+		// Anomaly-triggered profiling rides on the flight recorder: a
+		// frozen dump (SLO burn, shed storm, breaker trip) also captures
+		// a short CPU profile and heap snapshot, served on /profile.
+		opts.Observability = maqs.NewObservabilityWithConfig(maqs.ObservabilityConfig{
+			Profiling: &maqs.ProfilingConfig{},
+		})
 	}
 	sys, err := maqs.NewSystem(opts)
 	if err != nil {
@@ -150,9 +156,16 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("debug listener: %w", err)
 		}
-		debugSrv = &http.Server{Handler: sys.Observability.Handler()}
+		mux := http.NewServeMux()
+		mux.Handle("/", sys.Observability.Handler())
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		debugSrv = &http.Server{Handler: mux}
 		go func() { _ = debugSrv.Serve(ln) }()
-		fmt.Printf("debug endpoint on http://%s/ (/metrics, /trace, /trace/ops, /flight, /health, /ready)\n\n", ln.Addr())
+		fmt.Printf("debug endpoint on http://%s/ (/metrics, /trace, /trace/ops, /flight, /profile, /health, /ready, /debug/pprof/)\n\n", ln.Addr())
 	}
 
 	fmt.Printf("maqs-server listening on %s\n\n", *addr)

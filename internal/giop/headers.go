@@ -25,6 +25,12 @@ const (
 	// traceparent rendering of the sending span ("00-<trace>-<span>-<flags>",
 	// see internal/obs), not CDR-encapsulated.
 	SCTrace uint32 = 0x4D515304
+	// SCTraceReturn rides reply headers in the opposite direction: the
+	// server's compact span summaries for the traced request, so the
+	// client assembles one end-to-end trace. Payload: CDR stream, see
+	// obs.EncodeTraceReturn. Size-bounded; absent when tracing is off or
+	// the summaries exceed the budget.
+	SCTraceReturn uint32 = 0x4D515305
 )
 
 // ServiceContext is an identified blob attached to request and reply

@@ -62,6 +62,9 @@ type ClassReport struct {
 	// SLO is the class's final objective state from its SLO engine:
 	// burn rates, alert state and remaining error budget per objective.
 	SLO []qos.SLOObjectiveStatus `json:"slo,omitempty"`
+	// Trace is the class's tail-sampler tally (kept/dropped traces by
+	// reason, pending-table evictions) when tail sampling was enabled.
+	Trace *obs.TailSamplerStats `json:"trace,omitempty"`
 }
 
 // Report is the outcome of a full run.
@@ -79,6 +82,19 @@ type Report struct {
 	ServerAdmitted uint64            `json:"server_admitted,omitempty"`
 	TotalShed      uint64            `json:"server_shed,omitempty"`
 	ServerSheds    map[string]uint64 `json:"server_sheds,omitempty"`
+	// TraceKept/TraceDropped sum the per-class tail-sampler verdicts
+	// when tail sampling was on (zero and omitted otherwise).
+	TraceKept    uint64 `json:"trace_kept,omitempty"`
+	TraceDropped uint64 `json:"trace_dropped,omitempty"`
+}
+
+// sum totals one reason-keyed tally.
+func sum(m map[string]uint64) uint64 {
+	var t uint64
+	for _, v := range m {
+		t += v
+	}
+	return t
 }
 
 func (r *Runner) buildReport(elapsed time.Duration) *Report {
@@ -88,6 +104,10 @@ func (r *Runner) buildReport(elapsed time.Duration) *Report {
 		rep.TotalScheduled += cr.Scheduled
 		rep.TotalCompleted += cr.Completed
 		rep.TotalErrors += cr.Errors
+		if cr.Trace != nil {
+			rep.TraceKept += sum(cr.Trace.Kept)
+			rep.TraceDropped += sum(cr.Trace.Dropped)
+		}
 		rep.Classes = append(rep.Classes, cr)
 	}
 	rep.harvestServer(r.cfg.ServerMetrics)
@@ -131,6 +151,10 @@ func (c *classRun) report(elapsed time.Duration) ClassReport {
 		Latency:        summarize(c.corrected.Snapshot()),
 		Service:        summarize(c.service.Snapshot()),
 		SLO:            c.sloObjectives(),
+	}
+	if c.bundle.Sampler != nil {
+		st := c.bundle.Sampler.Stats()
+		cr.Trace = &st
 	}
 	span := c.elapsed
 	if span <= 0 {
@@ -177,6 +201,20 @@ func (r *Runner) SLOStatus() qos.SLOStatus {
 	return st
 }
 
+// KeptSpans returns the spans retained by every class's collector,
+// keyed by class. With tail sampling enabled these are exactly the
+// spans of kept traces; without, the ring's most recent spans. The
+// -trace-snapshot artifact of cmd/maqs-loadgen serialises this.
+func (r *Runner) KeptSpans() map[string][]obs.SpanRecord {
+	out := map[string][]obs.SpanRecord{}
+	for _, c := range r.classes {
+		if spans := c.bundle.Collector.Snapshot(); len(spans) > 0 {
+			out[c.scn.Class] = spans
+		}
+	}
+	return out
+}
+
 // BenchDoc renders the report as a BENCH_*.json trajectory point, one
 // result family per class, sharing the format (and the stamped context)
 // with cmd/benchjson.
@@ -217,6 +255,18 @@ func (rep *Report) BenchDoc() *benchfmt.Doc {
 				benchfmt.Result{Name: base + "_bad", Iterations: iters, Value: float64(o.Bad), Unit: "count"},
 			)
 		}
+		if c.Trace != nil {
+			base := "Loadgen/" + c.Class + "/trace_"
+			doc.Results = append(doc.Results,
+				benchfmt.Result{Name: base + "kept", Iterations: iters, Value: float64(sum(c.Trace.Kept)), Unit: "count"},
+				benchfmt.Result{Name: base + "dropped", Iterations: iters, Value: float64(sum(c.Trace.Dropped)), Unit: "count"},
+				benchfmt.Result{Name: base + "evicted", Iterations: iters, Value: float64(c.Trace.Evicted), Unit: "count"},
+			)
+		}
+	}
+	if rep.TraceKept > 0 || rep.TraceDropped > 0 {
+		doc.Context["trace_kept"] = strconv.FormatUint(rep.TraceKept, 10)
+		doc.Context["trace_dropped"] = strconv.FormatUint(rep.TraceDropped, 10)
 	}
 	if rep.ServerAdmitted > 0 || rep.TotalShed > 0 {
 		doc.Results = append(doc.Results,
@@ -244,6 +294,7 @@ func (r *Runner) Status() any {
 		Service       LatencySummary           `json:"service"`
 		BacklogedJobs int                      `json:"backlogged_jobs"`
 		SLO           []qos.SLOObjectiveStatus `json:"slo,omitempty"`
+		Trace         *obs.TailSamplerStats    `json:"trace,omitempty"`
 	}
 	out := struct {
 		Running        bool          `json:"running"`
@@ -271,6 +322,10 @@ func (r *Runner) Status() any {
 			Service:       summarize(c.service.Snapshot()),
 			BacklogedJobs: len(c.jobs),
 			SLO:           c.sloObjectives(),
+		}
+		if c.bundle.Sampler != nil {
+			st := c.bundle.Sampler.Stats()
+			cs.Trace = &st
 		}
 		if secs := elapsed.Seconds(); secs > 0 {
 			cs.OverallRPS = float64(cs.Completed) / secs

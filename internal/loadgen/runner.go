@@ -50,6 +50,10 @@ type Config struct {
 	// retry exhaustion, shed storms) from any class are retrievable from
 	// the one /flight endpoint the -debug server mounts.
 	Observability *obs.Observability
+	// TailSampling, when set, installs a tail sampler in every class's
+	// bundle: only anomalous (plus a healthy fraction of) traces are
+	// retained, and the per-class keep/drop tallies land in the report.
+	TailSampling *obs.TailSamplingConfig
 }
 
 // job is one intended request: its schedule offset from the run start
@@ -140,9 +144,21 @@ func NewRunner(cfg Config) (*Runner, error) {
 		}
 		seen[scn.Class] = true
 
-		bundle := obs.NewWithConfig(obs.Config{SpanCapacity: 64, FlightCapacity: 256})
+		bundle := obs.NewWithConfig(obs.Config{
+			SpanCapacity:   64,
+			FlightCapacity: 256,
+			TailSampling:   cfg.TailSampling,
+		})
 		if cfg.Observability != nil && cfg.Observability.Flight != nil {
 			bundle.Flight = cfg.Observability.Flight
+			// The sampler's anomaly hook was registered on the bundle's own
+			// recorder; re-arm it on the shared one so central dumps still
+			// pin their traces in this class's pending table.
+			if bundle.Sampler != nil {
+				bundle.Flight.OnDump(func(_, _ string, traceID string) {
+					bundle.Sampler.MarkAnomaly(traceID)
+				})
+			}
 		}
 		conns := cfg.ConnsPerEndpoint
 		if scn.Conns > 0 {

@@ -151,6 +151,24 @@ type FlightRecorder struct {
 	dumpSeq   uint64
 	cooldown  time.Duration
 	lastDump  map[string]time.Time // per anomaly kind
+
+	// hookMu guards hooks separately from mu: hooks run after Trigger
+	// releases mu, so a hook may call back into the recorder.
+	hookMu sync.Mutex
+	hooks  []func(dumpID, kind, traceID string)
+}
+
+// OnDump registers a hook invoked (outside the recorder's lock, on the
+// triggering goroutine) each time an anomaly freezes a new dump. The
+// tail sampler uses it to pin the triggering trace; the profiler uses it
+// to start an anomaly-triggered capture.
+func (f *FlightRecorder) OnDump(hook func(dumpID, kind, traceID string)) {
+	if f == nil || hook == nil {
+		return
+	}
+	f.hookMu.Lock()
+	f.hooks = append(f.hooks, hook)
+	f.hookMu.Unlock()
 }
 
 // NewFlightRecorder constructs a recorder retaining up to capacity
@@ -240,6 +258,12 @@ func (f *FlightRecorder) Trigger(kind string, trigger FlightRecord) string {
 		f.evictLocked()
 	}
 	f.mu.Unlock()
+	f.hookMu.Lock()
+	hooks := f.hooks
+	f.hookMu.Unlock()
+	for _, hook := range hooks {
+		hook(d.ID, kind, trigger.TraceID)
+	}
 	return d.ID
 }
 

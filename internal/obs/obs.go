@@ -18,6 +18,12 @@ type Observability struct {
 	// Flight is the always-on invocation flight recorder (may be nil on
 	// hand-built bundles; all recorder methods tolerate that).
 	Flight *FlightRecorder
+	// Sampler is the tail sampler gating Collector, nil when spans record
+	// unconditionally (Config.TailSampling unset).
+	Sampler *TailSampler
+	// Profiler retains anomaly-triggered CPU/heap captures, nil when
+	// profiling is off (Config.Profiling unset).
+	Profiler *Profiler
 
 	// health carries liveness/readiness state; created lazily so
 	// literal-constructed bundles still work (see health.go).
@@ -60,6 +66,13 @@ type Config struct {
 	// FlightMaxDumps bounds retained anomaly dumps
 	// (DefaultFlightMaxDumps when non-positive).
 	FlightMaxDumps int
+	// TailSampling, when non-nil, installs a tail sampler between tracer
+	// and collector: spans buffer per trace and only kept traces reach
+	// the collector. Nil preserves record-every-span behaviour.
+	TailSampling *TailSamplingConfig
+	// Profiling, when non-nil, enables anomaly-triggered CPU/heap
+	// profiling keyed to flight dumps.
+	Profiling *ProfilingConfig
 }
 
 // New constructs an enabled bundle with default sizing.
@@ -80,6 +93,17 @@ func NewWithConfig(cfg Config) *Observability {
 		Collector: c,
 		Tracer:    NewTracer(c),
 		Flight:    NewFlightRecorder(cfg.FlightCapacity, cfg.FlightSnapshotDepth, cfg.FlightMaxDumps),
+	}
+	if cfg.TailSampling != nil {
+		o.Sampler = NewTailSampler(c, o.Registry, *cfg.TailSampling)
+		o.Tracer.SetSampler(o.Sampler)
+		// Anomalies pin their trace in the pending table so the policy
+		// keeps it even when the spans themselves look healthy.
+		o.Flight.OnDump(func(_, _, traceID string) { o.Sampler.MarkAnomaly(traceID) })
+	}
+	if cfg.Profiling != nil {
+		o.Profiler = NewProfiler(o.Registry, *cfg.Profiling)
+		o.Flight.OnDump(o.Profiler.OnAnomaly)
 	}
 	RegisterRuntimeMetrics(o.Registry)
 	return o

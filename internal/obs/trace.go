@@ -73,6 +73,12 @@ func ParseTraceparent(data []byte) (SpanContext, bool) {
 	if len(data) > traceparentLen && data[traceparentLen] != '-' {
 		return SpanContext{}, false
 	}
+	// The W3C grammar is lowercase hex throughout, version included
+	// (hex.Decode alone would admit uppercase and skip the version).
+	if !isLowerHex(data[0:2]) || !isLowerHex(data[3:35]) ||
+		!isLowerHex(data[36:52]) || !isLowerHex(data[53:55]) {
+		return SpanContext{}, false
+	}
 	var sc SpanContext
 	if _, err := hex.Decode(sc.TraceID[:], data[3:35]); err != nil {
 		return SpanContext{}, false
@@ -89,6 +95,16 @@ func ParseTraceparent(data []byte) (SpanContext, bool) {
 		return SpanContext{}, false
 	}
 	return sc, true
+}
+
+// isLowerHex reports whether b is entirely lowercase hex digits.
+func isLowerHex(b []byte) bool {
+	for _, c := range b {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // newTraceID draws a random non-zero trace ID. math/rand/v2's global

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// A well-formed sampled traceparent to mutate from.
+const goodTraceparent = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"too short", goodTraceparent[:54]},
+		{"truncated to version", "00"},
+		{"truncated mid trace id", "00-0af7651916cd43dd"},
+		{"missing first dash", "00" + "x" + goodTraceparent[3:]},
+		{"missing second dash", strings.Replace(goodTraceparent, "-b7ad", "xb7ad", 1)},
+		{"missing third dash", goodTraceparent[:52] + "x01"},
+		{"version ff reserved", "ff" + goodTraceparent[2:]},
+		{"non-hex version", "zz" + goodTraceparent[2:]},
+		{"non-hex trace id", "00-zzf7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"},
+		{"non-hex span id", "00-0af7651916cd43dd8448eb211c80319c-z7ad6b7169203331-01"},
+		{"non-hex flags", goodTraceparent[:53] + "zz"},
+		{"zero trace id", "00-00000000000000000000000000000000-b7ad6b7169203331-01"},
+		{"zero span id", "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01"},
+		{"future version without extension dash", "01" + goodTraceparent[2:] + "x"},
+		{"uppercase hex rejected", strings.ToUpper(goodTraceparent)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, ok := ParseTraceparent([]byte(tc.in))
+			if ok {
+				t.Fatalf("accepted malformed traceparent %q -> %+v", tc.in, sc)
+			}
+			if sc.Valid() {
+				t.Fatalf("rejected parse still returned a valid context: %+v", sc)
+			}
+		})
+	}
+}
+
+func TestParseTraceparentAccepted(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		sampled bool
+	}{
+		{"sampled", goodTraceparent, true},
+		{"unsampled", goodTraceparent[:53] + "00", false},
+		{"extra flag bits", goodTraceparent[:53] + "03", true},
+		{"future version with extension", "01" + goodTraceparent[2:] + "-extra", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, ok := ParseTraceparent([]byte(tc.in))
+			if !ok || !sc.Valid() {
+				t.Fatalf("rejected well-formed traceparent %q", tc.in)
+			}
+			if sc.Sampled != tc.sampled {
+				t.Fatalf("sampled = %v, want %v", sc.Sampled, tc.sampled)
+			}
+		})
+	}
+}
+
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add([]byte(goodTraceparent))
+	f.Add([]byte(goodTraceparent[:53] + "00"))
+	f.Add([]byte(""))
+	f.Add([]byte("00-00000000000000000000000000000000-0000000000000000-00"))
+	f.Add([]byte("ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"))
+	f.Add([]byte("01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-suffix"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, ok := ParseTraceparent(data)
+		if !ok {
+			if sc.Valid() {
+				t.Fatalf("rejected parse returned valid context %+v for %q", sc, data)
+			}
+			return
+		}
+		if !sc.Valid() {
+			t.Fatalf("accepted parse returned invalid context for %q", data)
+		}
+		// Round-trip: re-rendering an accepted context and re-parsing it
+		// must preserve identity and the sampled bit.
+		again, ok2 := ParseTraceparent([]byte(sc.Traceparent()))
+		if !ok2 {
+			t.Fatalf("re-render of accepted %q did not parse", data)
+		}
+		if again.TraceID != sc.TraceID || again.SpanID != sc.SpanID || again.Sampled != sc.Sampled {
+			t.Fatalf("round trip changed context: %+v vs %+v", sc, again)
+		}
+	})
+}

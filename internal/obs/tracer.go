@@ -30,6 +30,10 @@ type Span struct {
 	remoteParent bool
 	name         string
 	start        time.Time
+	// ret, when armed (CaptureReturn), accumulates compact summaries of
+	// this span and its children for the reply-direction SCTraceReturn
+	// service context. Children inherit the capture.
+	ret *returnCapture
 
 	mu     sync.Mutex
 	op     string
@@ -94,7 +98,29 @@ func (s *Span) Child(name string) *Span {
 	if s == nil || s.tracer == nil {
 		return nil
 	}
-	return s.tracer.newSpan(name, s.sc.TraceID, s.sc.SpanID, false)
+	sp := s.tracer.newSpan(name, s.sc.TraceID, s.sc.SpanID, false)
+	sp.ret = s.ret
+	return sp
+}
+
+// CaptureReturn arms the span (and every child created afterwards) to
+// summarise itself on End into a buffer the server piggybacks on the
+// reply's SCTraceReturn service context. Call before creating children.
+func (s *Span) CaptureReturn() {
+	if s == nil {
+		return
+	}
+	s.ret = &returnCapture{}
+}
+
+// ReturnPayload encodes the captured span summaries for the reply's
+// SCTraceReturn context, or nil when nothing was captured or the
+// encoding exceeds the size budget.
+func (s *Span) ReturnPayload() []byte {
+	if s == nil || s.ret == nil {
+		return nil
+	}
+	return s.ret.payload(s.sc.TraceID)
 }
 
 // End closes the span and hands it to the collector. Ending twice
@@ -125,7 +151,20 @@ func (s *Span) End() {
 	if !s.parent.IsZero() {
 		rec.ParentID = s.parent.String()
 	}
-	if s.tracer != nil && s.tracer.collector != nil {
+	if s.ret != nil {
+		s.ret.add(rec)
+	}
+	if s.tracer == nil {
+		return
+	}
+	if s.tracer.sampler != nil {
+		// A trace quiesces — and gets its keep/drop verdict — once its
+		// decision-point span ends: the local root, or the remote-parented
+		// server root that closes this process's part of the trace.
+		s.tracer.sampler.offer(rec, s.parent.IsZero() || s.remoteParent)
+		return
+	}
+	if s.tracer.collector != nil {
 		s.tracer.collector.record(rec)
 	}
 }
@@ -134,6 +173,9 @@ func (s *Span) End() {
 // tracer: StartSpan returns the context unchanged and a nil span.
 type Tracer struct {
 	collector *Collector
+	// sampler, when non-nil, intercepts finished spans for tail-based
+	// keep/drop; only kept traces reach the collector.
+	sampler *TailSampler
 }
 
 // NewTracer constructs a tracer recording into c.
@@ -147,8 +189,42 @@ func (t *Tracer) Collector() *Collector {
 	return t.collector
 }
 
+// SetSampler routes finished spans through a tail sampler instead of
+// recording them directly. Install before spans start; swapping samplers
+// mid-trace strands the old sampler's pending entries.
+func (t *Tracer) SetSampler(s *TailSampler) {
+	if t == nil {
+		return
+	}
+	t.sampler = s
+}
+
+// Sampler returns the installed tail sampler, nil when sampling is off.
+func (t *Tracer) Sampler() *TailSampler {
+	if t == nil {
+		return nil
+	}
+	return t.sampler
+}
+
+// Inject records a span that finished in another process (a summary
+// returned on SCTraceReturn). It feeds the sampler's pending trace when
+// one exists, otherwise follows the trace's verdict.
+func (t *Tracer) Inject(rec SpanRecord) {
+	if t == nil {
+		return
+	}
+	if t.sampler != nil {
+		t.sampler.inject(rec)
+		return
+	}
+	if t.collector != nil {
+		t.collector.record(rec)
+	}
+}
+
 func (t *Tracer) newSpan(name string, trace TraceID, parent SpanID, remote bool) *Span {
-	return &Span{
+	sp := &Span{
 		tracer:       t,
 		sc:           SpanContext{TraceID: trace, SpanID: newSpanID(), Sampled: true},
 		parent:       parent,
@@ -156,6 +232,10 @@ func (t *Tracer) newSpan(name string, trace TraceID, parent SpanID, remote bool)
 		name:         name,
 		start:        time.Now(),
 	}
+	if t.sampler != nil {
+		t.sampler.spanStarted(sp.sc.TraceID.String())
+	}
+	return sp
 }
 
 // StartSpan begins a span under the span already in ctx (same trace), or
@@ -177,13 +257,18 @@ func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *
 // StartRemote begins a server-side span whose parent lives in another
 // process (the wire span whose context arrived in the request's SCTrace
 // service context). An invalid parent starts a fresh trace, so untraced
-// clients still produce server-side spans.
+// clients still produce server-side spans. A valid parent that is
+// explicitly unsampled returns nil: the client already decided this
+// trace records nothing, and the server must not pay span cost for it.
 func (t *Tracer) StartRemote(parent SpanContext, name string) *Span {
 	if t == nil {
 		return nil
 	}
 	if !parent.Valid() {
 		return t.newSpan(name, newTraceID(), SpanID{}, false)
+	}
+	if !parent.Sampled {
+		return nil
 	}
 	return t.newSpan(name, parent.TraceID, parent.SpanID, true)
 }

@@ -68,6 +68,12 @@ func (m *iiopModule) Send(ctx context.Context, inv *Invocation) (*Outcome, error
 		m.account(sent, recv)
 	}
 	if sp != nil {
+		if out != nil {
+			// Graft the server's returned span summaries into our trace
+			// before the wire span ends, so the sampler sees the whole
+			// tree when the trace quiesces.
+			m.orb.absorbTraceReturn(out.Contexts)
+		}
 		sp.SetAttr("bytes_sent", strconv.Itoa(sent))
 		sp.SetAttr("bytes_recv", strconv.Itoa(recv))
 		sp.RecordError(err)
@@ -419,6 +425,32 @@ func (c *clientConn) sendAsync(ctx context.Context, inv *Invocation, fut *Future
 	return sent, true, nil
 }
 
+// absorbTraceReturn decodes a reply's SCTraceReturn service context (the
+// server's compact span summaries for this trace) and injects the spans
+// into the local tracer, so /trace?trace_id= shows one end-to-end tree.
+// Malformed payloads are dropped silently: trace return is best-effort
+// telemetry, never worth failing a reply over.
+func (o *ORB) absorbTraceReturn(ctxs giop.ServiceContextList) {
+	if len(ctxs) == 0 {
+		return
+	}
+	ob := o.obsState.Load()
+	if ob == nil {
+		return
+	}
+	payload, ok := ctxs.Get(giop.SCTraceReturn)
+	if !ok {
+		return
+	}
+	recs, err := obs.DecodeTraceReturn(payload)
+	if err != nil {
+		return
+	}
+	for _, rec := range recs {
+		ob.bundle.Tracer.Inject(rec)
+	}
+}
+
 // sendAsync on the module accounts the request and hands the invocation
 // to the connection layer. registered propagates the connection-layer
 // ownership contract: once true, the future's completion belongs to
@@ -545,6 +577,10 @@ func (c *clientConn) readLoop() {
 				p.fut = nil
 				pendingPool.Put(p)
 				c.orb.iiop.bytesRecv.Add(uint64(len(out.Data)))
+				// Graft returned server spans before completion: the
+				// future's onDone ends the client.call span, and the
+				// sampler must see the server's spans first.
+				c.orb.absorbTraceReturn(out.Contexts)
 				fut.complete(out, nil)
 				continue
 			}

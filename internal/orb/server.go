@@ -285,6 +285,12 @@ func (o *ORB) handleRequest(conn net.Conn, writeMu *sync.Mutex, order cdr.ByteOr
 			parent, _ = obs.ParseTraceparent(tp)
 		}
 		req.Span = ob.bundle.Tracer.StartRemote(parent, "server.dispatch")
+		if parent.Valid() {
+			// The caller traces this request: capture our spans' summaries
+			// so the reply can carry them back (SCTraceReturn). Armed
+			// before dispatch so servant/prolog/epilog children inherit it.
+			req.Span.CaptureReturn()
+		}
 		req.Span.SetOperation(h.Operation)
 		req.Span.SetAttr("peer", req.Peer)
 	}
@@ -317,6 +323,12 @@ func (o *ORB) handleRequest(conn net.Conn, writeMu *sync.Mutex, order cdr.ByteOr
 			req.Span.SetAttr("reply_status", status.String())
 		}
 		req.Span.End()
+		// After End the dispatch span's own summary is in the capture;
+		// piggyback the encoded set on the reply. Nil payload (capture
+		// unarmed, or over budget) attaches nothing.
+		if payload := req.Span.ReturnPayload(); payload != nil {
+			req.OutContexts = req.OutContexts.With(giop.SCTraceReturn, payload)
+		}
 	}
 
 	if !h.ResponseExpected {

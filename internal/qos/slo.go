@@ -152,6 +152,10 @@ type SLOEngine struct {
 	// evalEvery throttles per-objective state evaluation; tests set 0
 	// to evaluate on every observation.
 	evalEvery time.Duration
+	// latencySink receives every installed latency bound (class, MaxRTT);
+	// the tail sampler's slow-trace threshold hangs off it so "slow"
+	// means "SLO-relevant slow", not an arbitrary constant.
+	latencySink atomic.Pointer[func(class string, maxRTT time.Duration)]
 	// now and newWindow are replaceable for deterministic tests.
 	now       func() time.Time
 	newWindow func() *obs.WindowCounter
@@ -208,6 +212,46 @@ func (e *SLOEngine) NotifyDegrader(d *Degrader) {
 	})
 }
 
+// SetLatencySink registers a callback receiving each class's latency
+// bound as objectives install or re-derive. maqs.System wires the tail
+// sampler's slow threshold through it.
+func (e *SLOEngine) SetLatencySink(fn func(class string, maxRTT time.Duration)) {
+	if e == nil || fn == nil {
+		return
+	}
+	e.latencySink.Store(&fn)
+	// Replay bounds already installed, so a sink registered after
+	// negotiation still learns them.
+	e.mu.Lock()
+	classes := make([]*classSLO, 0, len(e.classes))
+	for _, cs := range e.classes {
+		classes = append(classes, cs)
+	}
+	e.mu.Unlock()
+	for _, cs := range classes {
+		cs.mu.Lock()
+		for _, os := range cs.objectives {
+			os.mu.Lock()
+			maxRTT := os.obj.MaxRTT
+			os.mu.Unlock()
+			if maxRTT > 0 {
+				fn(cs.class, maxRTT)
+			}
+		}
+		cs.mu.Unlock()
+	}
+}
+
+// notifyLatencySink forwards an installed latency bound to the sink.
+func (e *SLOEngine) notifyLatencySink(class string, obj Objective) {
+	if obj.MaxRTT <= 0 {
+		return
+	}
+	if fn := e.latencySink.Load(); fn != nil {
+		(*fn)(class, obj.MaxRTT)
+	}
+}
+
 // SetObjective installs (or replaces, by name) one objective for a
 // class, independent of any contract — loadgen uses this for scenario
 // classes without negotiated terms.
@@ -218,6 +262,7 @@ func (e *SLOEngine) SetObjective(class string, obj Objective) {
 	if obj.Target <= 0 || obj.Target >= 1 {
 		obj.Target = DefaultSLOTarget
 	}
+	defer e.notifyLatencySink(class, obj)
 	cs := e.classFor(class)
 	cs.mu.Lock()
 	defer cs.mu.Unlock()

@@ -126,6 +126,23 @@ type (
 	FlightRecord = obs.FlightRecord
 	// FlightDump is one frozen anomaly snapshot.
 	FlightDump = obs.FlightDump
+	// TailSampler buffers spans per trace and keeps only interesting
+	// traces (errors, retries, sheds, deadline misses, SLO-slow,
+	// anomalies) plus a configurable fraction of healthy ones.
+	TailSampler = obs.TailSampler
+	// TailSamplingConfig enables tail sampling via
+	// ObservabilityConfig.TailSampling.
+	TailSamplingConfig = obs.TailSamplingConfig
+	// Profiler retains anomaly-triggered CPU/heap captures served on the
+	// debug handler's /profile endpoint.
+	Profiler = obs.Profiler
+	// ProfilingConfig enables anomaly-triggered profiling via
+	// ObservabilityConfig.Profiling.
+	ProfilingConfig = obs.ProfilingConfig
+	// ProfileCaptureSummary lists one retained capture on /profile.
+	ProfileCaptureSummary = obs.ProfileCaptureSummary
+	// TailSamplerStats aggregates a sampler's kept/dropped/pending view.
+	TailSamplerStats = obs.TailSamplerStats
 
 	// Network is the simulated network used for testing and experiments.
 	Network = netsim.Network
@@ -226,6 +243,19 @@ var (
 	// PolicyFromContract derives one class's dispatch policy from its
 	// negotiated contract.
 	PolicyFromContract = qos.PolicyFromContract
+)
+
+// Tail-sampling keep/drop reasons (the {reason} label on
+// maqs_trace_kept_total / maqs_trace_dropped_total).
+const (
+	TraceKeepError     = obs.KeepError
+	TraceKeepRetry     = obs.KeepRetry
+	TraceKeepShed      = obs.KeepShed
+	TraceKeepDeadline  = obs.KeepDeadline
+	TraceKeepSlow      = obs.KeepSlow
+	TraceKeepAnomaly   = obs.KeepAnomaly
+	TraceReasonHealthy = obs.ReasonHealthy
+	TraceDropEvicted   = obs.DropEvicted
 )
 
 // Circuit breaker states.
@@ -395,6 +425,12 @@ func NewSystem(opts Options) (*System, error) {
 		})
 		sys.SLO = qos.NewSLOEngine(b.Registry, b.Flight)
 		b.SetDebugPage("/slo", func() any { return sys.SLO.Status() })
+		if b.Sampler != nil {
+			// Contract-derived latency objectives double as the tail
+			// sampler's per-class slow-trace thresholds, so "slow" means
+			// "in SLO jeopardy", not an arbitrary constant.
+			sys.SLO.SetLatencySink(b.Sampler.SetSlowThreshold)
+		}
 	}
 	if !opts.SkipStandardModules {
 		if err := compression.RegisterModule(t); err != nil {
